@@ -1,0 +1,92 @@
+// Command datagen emits synthetic social-influence datasets — the digg-like
+// and flickr-like stand-ins for the paper's evaluation data — as TSV files:
+// a directed edge list (graph.tsv) and an action log (actions.tsv).
+//
+// Usage:
+//
+//	datagen -preset digg -seed 1 -out ./data/digg
+//	datagen -preset flickr -users 500 -items 80 -out ./data/small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/datagen"
+	"inf2vec/internal/graph"
+)
+
+func main() {
+	preset := flag.String("preset", "digg", `dataset preset: "digg" or "flickr"`)
+	seed := flag.Uint64("seed", 1, "generation seed")
+	users := flag.Int("users", 0, "override number of users (0 = preset default)")
+	items := flag.Int("items", 0, "override number of items (0 = preset default)")
+	out := flag.String("out", ".", "output directory (created if missing)")
+	flag.Parse()
+
+	if err := run(*preset, *seed, *users, *items, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, seed uint64, users, items int, out string) error {
+	var cfg datagen.Config
+	switch preset {
+	case "digg":
+		cfg = datagen.DiggLike(seed)
+	case "flickr":
+		cfg = datagen.FlickrLike(seed)
+	default:
+		return fmt.Errorf("unknown preset %q (want digg or flickr)", preset)
+	}
+	if users > 0 {
+		cfg.NumUsers = int32(users)
+	}
+	if items > 0 {
+		cfg.NumItems = int32(items)
+	}
+
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	graphPath := filepath.Join(out, "graph.tsv")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeList(gf, ds.Graph); err != nil {
+		gf.Close()
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+
+	logPath := filepath.Join(out, "actions.tsv")
+	lf, err := os.Create(logPath)
+	if err != nil {
+		return err
+	}
+	if err := actionlog.WriteTSV(lf, ds.Log); err != nil {
+		lf.Close()
+		return err
+	}
+	if err := lf.Close(); err != nil {
+		return err
+	}
+
+	st := ds.Log.ComputeStats()
+	fmt.Printf("%s: %d users, %d edges, %d items, %d actions\n",
+		cfg.Name, ds.Graph.NumNodes(), ds.Graph.NumEdges(), st.NumItems, st.NumActions)
+	fmt.Printf("wrote %s and %s\n", graphPath, logPath)
+	return nil
+}

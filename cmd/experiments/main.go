@@ -1,0 +1,197 @@
+// Command experiments reproduces the paper's evaluation section: every
+// table (I–VI) and figure (1–3, 6–9) runs against the synthetic digg-like
+// and flickr-like datasets and prints in the shape of the paper's tables.
+//
+// Usage:
+//
+//	experiments                    # run everything at full scale
+//	experiments -run table2,fig9   # selected experiments
+//	experiments -quick             # reduced scale (~10x faster, noisier)
+//	experiments -svg ./figs        # additionally write Figure 6 SVG panels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"inf2vec/internal/experiments"
+	"inf2vec/internal/tsne"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment list: table1..table6, fig1..fig3, fig6..fig9, or all")
+	quick := flag.Bool("quick", false, "reduced-scale run")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
+	flag.Parse()
+
+	if err := runAll(*run, *quick, *seed, *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func runAll(list string, quick bool, seed uint64, svgDir string) error {
+	want := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	pick := func(name string) bool { return all || want[name] }
+
+	s := experiments.NewSuite(experiments.Options{Seed: seed, Quick: quick})
+	out := os.Stdout
+	start := time.Now()
+
+	if pick("table1") {
+		rows, err := s.TableI()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTableI(out, rows); err != nil {
+			return err
+		}
+	}
+	if pick("fig1") {
+		figs, err := s.Figure1()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFrequencyFigures(out, "Figure 1 (source users)", figs); err != nil {
+			return err
+		}
+	}
+	if pick("fig2") {
+		figs, err := s.Figure2()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderFrequencyFigures(out, "Figure 2 (target users)", figs); err != nil {
+			return err
+		}
+	}
+	if pick("fig3") {
+		figs, err := s.Figure3()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderCDFFigures(out, figs); err != nil {
+			return err
+		}
+	}
+	if pick("table2") {
+		results, err := s.TableII()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderMethodTable(out, "Table II: activation prediction", results); err != nil {
+			return err
+		}
+	}
+	if pick("table3") {
+		results, err := s.TableIII()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderMethodTable(out, "Table III: diffusion prediction", results); err != nil {
+			return err
+		}
+	}
+	if pick("table4") {
+		rows, err := s.TableIV()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTableIV(out, rows); err != nil {
+			return err
+		}
+	}
+	if pick("table5") {
+		rows, err := s.TableV()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTableV(out, rows); err != nil {
+			return err
+		}
+	}
+	if pick("fig6") {
+		figs, err := s.Figure6()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderVisualization(out, figs); err != nil {
+			return err
+		}
+		if svgDir != "" {
+			if err := writeSVGs(svgDir, figs); err != nil {
+				return err
+			}
+		}
+	}
+	if pick("fig7") {
+		figs, err := s.Figure7()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderSweep(out, "Figure 7: MAP vs dimension K", "K", figs); err != nil {
+			return err
+		}
+	}
+	if pick("fig8") {
+		figs, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderSweep(out, "Figure 8: MAP vs context length L", "L", figs); err != nil {
+			return err
+		}
+	}
+	if pick("fig9") {
+		figs, err := s.Figure9()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTiming(out, figs); err != nil {
+			return err
+		}
+	}
+	if pick("table6") {
+		res, err := s.TableVI()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTableVI(out, res); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "total wall clock: %s\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func writeSVGs(dir string, figs []experiments.VisualizationResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		path := filepath.Join(dir, fmt.Sprintf("figure6-%s.svg", strings.ToLower(fig.Method)))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 6: %s (top-5 pair proximity %.3f)", fig.Method, fig.Proximity)
+		if err := tsne.WriteSVG(f, fig.Layout, fig.Highlight, title); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

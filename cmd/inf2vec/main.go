@@ -1,0 +1,212 @@
+// Command inf2vec trains, evaluates and queries social influence embeddings
+// from TSV files on disk.
+//
+// Subcommands:
+//
+//	inf2vec train -graph graph.tsv -log actions.tsv -model out.i2v [flags]
+//	inf2vec eval  -graph graph.tsv -log actions.tsv -model out.i2v [-task activation|diffusion]
+//	inf2vec score -model out.i2v -source 12 -top 10
+//
+// train fits the model on a random 80% episode split (10% tune / 10% test
+// are held out, matching the paper's protocol); eval replays the held-out
+// test split; score prints the users most likely to be influenced by a
+// source user.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inf2vec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "score":
+		err = cmdScore(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inf2vec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score> [flags]
+  train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -seed 1]
+  eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
+  score -model M -source U [-top 10] [-agg max]`)
+}
+
+// loadData reads the graph and the full action log, sized to the graph.
+func loadData(graphPath, logPath string) (*inf2vec.Graph, *inf2vec.ActionLog, error) {
+	g, err := inf2vec.ReadGraphFile(graphPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := inf2vec.ReadActionLogFile(logPath, g.NumNodes())
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, log, nil
+}
+
+func parseAgg(name string) (inf2vec.Aggregator, error) {
+	switch name {
+	case "ave":
+		return inf2vec.Ave, nil
+	case "sum":
+		return inf2vec.Sum, nil
+	case "max":
+		return inf2vec.Max, nil
+	case "latest":
+		return inf2vec.Latest, nil
+	default:
+		return inf2vec.Ave, fmt.Errorf("unknown aggregator %q", name)
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list TSV (required)")
+	logPath := fs.String("log", "", "action-log TSV (required)")
+	modelPath := fs.String("model", "model.i2v", "output model file")
+	dim := fs.Int("dim", 50, "embedding dimension K")
+	ctxLen := fs.Int("len", 50, "context length threshold L")
+	alpha := fs.Float64("alpha", 0.1, "component weight (local context fraction)")
+	lr := fs.Float64("lr", 0.005, "SGD learning rate")
+	decay := fs.Bool("decay", false, "linearly decay the learning rate")
+	iters := fs.Int("iters", 10, "SGD passes")
+	neg := fs.Int("neg", 5, "negative samples per positive")
+	workers := fs.Int("workers", 1, "hogwild workers")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *logPath == "" {
+		return fmt.Errorf("train: -graph and -log are required")
+	}
+	g, log, err := loadData(*graphPath, *logPath)
+	if err != nil {
+		return err
+	}
+	train, _, _, err := log.Split(*seed, 0.8, 0.1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d episodes (%d actions) over %d users\n",
+		train.NumEpisodes(), train.NumActions(), g.NumNodes())
+
+	model, stats, err := inf2vec.TrainWithStats(g, train, inf2vec.Config{
+		Dim:               *dim,
+		ContextLength:     *ctxLen,
+		Alpha:             *alpha,
+		LearningRate:      *lr,
+		DecayLearningRate: *decay,
+		Iterations:        *iters,
+		NegativeSamples:   *neg,
+		Workers:           *workers,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	for i, loss := range stats.EpochLoss {
+		fmt.Printf("  epoch %2d: loss %.4f (%.2fs)\n", i+1, loss, stats.EpochSeconds[i])
+	}
+	if err := model.SaveFile(*modelPath); err != nil {
+		return err
+	}
+	fmt.Printf("saved model (%d users x K=%d) to %s\n", model.NumUsers(), model.Dim(), *modelPath)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "edge-list TSV (required)")
+	logPath := fs.String("log", "", "action-log TSV (required)")
+	modelPath := fs.String("model", "", "trained model file (required)")
+	task := fs.String("task", "activation", "activation or diffusion")
+	aggName := fs.String("agg", "ave", "aggregator: ave, sum, max, latest")
+	seed := fs.Uint64("seed", 1, "split seed (must match training)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *logPath == "" || *modelPath == "" {
+		return fmt.Errorf("eval: -graph, -log and -model are required")
+	}
+	agg, err := parseAgg(*aggName)
+	if err != nil {
+		return err
+	}
+	g, log, err := loadData(*graphPath, *logPath)
+	if err != nil {
+		return err
+	}
+	_, _, test, err := log.Split(*seed, 0.8, 0.1)
+	if err != nil {
+		return err
+	}
+	model, err := inf2vec.LoadModelFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	var metrics inf2vec.Metrics
+	switch *task {
+	case "activation":
+		metrics, err = model.EvaluateActivation(g, test, agg)
+	case "diffusion":
+		metrics, err = model.EvaluateDiffusion(g, test, agg, 0.05)
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s prediction on %d test episodes (agg=%s):\n  %s\n",
+		*task, test.NumEpisodes(), agg, metrics)
+	return nil
+}
+
+func cmdScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	modelPath := fs.String("model", "", "trained model file (required)")
+	source := fs.Int("source", -1, "source user ID (required)")
+	top := fs.Int("top", 10, "list length")
+	aggName := fs.String("agg", "max", "aggregator: ave, sum, max, latest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" || *source < 0 {
+		return fmt.Errorf("score: -model and -source are required")
+	}
+	agg, err := parseAgg(*aggName)
+	if err != nil {
+		return err
+	}
+	model, err := inf2vec.LoadModelFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	if int32(*source) >= model.NumUsers() {
+		return fmt.Errorf("source %d outside universe [0,%d)", *source, model.NumUsers())
+	}
+	fmt.Printf("users most likely influenced by user %d:\n", *source)
+	for i, r := range model.RankInfluenced([]int32{int32(*source)}, agg, *top) {
+		fmt.Printf("  %2d. user %-6d score %.4f\n", i+1, r.User, r.Score)
+	}
+	return nil
+}

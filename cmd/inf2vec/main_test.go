@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/datagen"
+	"inf2vec/internal/graph"
+)
+
+// writeWorld generates a small dataset to disk and returns the file paths.
+func writeWorld(t *testing.T) (graphPath, logPath string) {
+	t.Helper()
+	cfg := datagen.DiggLike(3)
+	cfg.NumUsers = 200
+	cfg.NumItems = 40
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "graph.tsv")
+	logPath = filepath.Join(dir, "actions.tsv")
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(gf, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	gf.Close()
+	lf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := actionlog.WriteTSV(lf, ds.Log); err != nil {
+		t.Fatal(err)
+	}
+	lf.Close()
+	return graphPath, logPath
+}
+
+func TestTrainEvalScorePipeline(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	modelPath := filepath.Join(t.TempDir(), "model.i2v")
+
+	if err := cmdTrain([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-dim", "8", "-len", "10", "-iters", "3", "-seed", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatal("model file not written:", err)
+	}
+	if err := cmdEval([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-task", "activation", "-seed", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-task", "diffusion", "-agg", "max", "-seed", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdScore([]string{"-model", modelPath, "-source", "0", "-top", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandValidation(t *testing.T) {
+	if err := cmdTrain([]string{"-graph", "", "-log", ""}); err == nil {
+		t.Error("train without inputs accepted")
+	}
+	if err := cmdEval([]string{"-graph", "x"}); err == nil {
+		t.Error("eval without model accepted")
+	}
+	if err := cmdScore([]string{"-model", ""}); err == nil {
+		t.Error("score without model accepted")
+	}
+	if _, err := parseAgg("bogus"); err == nil {
+		t.Error("bogus aggregator accepted")
+	}
+	for _, name := range []string{"ave", "sum", "max", "latest"} {
+		if _, err := parseAgg(name); err != nil {
+			t.Errorf("aggregator %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestEvalRejectsUnknownTask(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	modelPath := filepath.Join(t.TempDir(), "model.i2v")
+	if err := cmdTrain([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-dim", "4", "-len", "5", "-iters", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath, "-task", "teleport",
+	}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// What-to-follow: an activation-prediction deployment loop. A story starts
+// spreading; as each adoption arrives we re-rank the not-yet-active users
+// by their likelihood of adopting next (Eq. 7 over their active friends) —
+// the feed-ranking / notification-targeting use the paper's introduction
+// motivates.
+//
+//	go run ./examples/whattofollow
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"inf2vec"
+	"inf2vec/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.DiggLike(23)
+	cfg.NumUsers = 500
+	cfg.NumItems = 100
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, _, test, err := ds.Log.Split(4, 0.8, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := inf2vec.Train(ds.Graph, train, inf2vec.Config{
+		Dim: 32, ContextLength: 30, Alpha: 0.15,
+		LearningRate: 0.025, DecayLearningRate: true, Iterations: 20, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay the largest held-out episode as if it were arriving live.
+	var episode *inf2vec.Episode
+	test.Episodes(func(e *inf2vec.Episode) {
+		if episode == nil || e.Len() > episode.Len() {
+			episode = e
+		}
+	})
+	if episode == nil || episode.Len() < 6 {
+		log.Fatal("no sizable test episode; re-run with another seed")
+	}
+	fmt.Printf("replaying item %d: %d adoptions\n\n", episode.Item, episode.Len())
+
+	users := episode.Users()
+	willAdopt := make(map[int32]bool, len(users))
+	for _, u := range users {
+		willAdopt[u] = true
+	}
+
+	var active []int32
+	hits, alerts := 0, 0
+	for step, u := range users {
+		active = append(active, u)
+		if step != 2 && step != episode.Len()/2 {
+			continue
+		}
+		// Alert on the top-5 most at-risk friends of the active set.
+		preds := rankCandidates(model, ds.Graph, active, 5)
+		fmt.Printf("after %d adoptions, most likely next:\n", len(active))
+		for _, p := range preds {
+			outcome := "will NOT adopt"
+			if willAdopt[p.User] {
+				outcome = "ADOPTS later"
+				hits++
+			}
+			alerts++
+			fmt.Printf("  user %-4d score %+.3f  -> %s\n", p.User, p.Score, outcome)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("alert precision this episode: %d/%d\n", hits, alerts)
+}
+
+// rankCandidates scores every inactive friend of the active set (Eq. 7 with
+// Max aggregation) and returns the top k.
+func rankCandidates(m *inf2vec.Model, g *inf2vec.Graph, active []int32, k int) []inf2vec.Ranked {
+	isActive := make(map[int32]bool, len(active))
+	for _, u := range active {
+		isActive[u] = true
+	}
+	seen := map[int32]bool{}
+	var out []inf2vec.Ranked
+	for _, u := range active {
+		for _, v := range g.OutNeighbors(u) {
+			if isActive[v] || seen[v] {
+				continue
+			}
+			seen[v] = true
+			out = append(out, inf2vec.Ranked{
+				User:  v,
+				Score: m.PredictActivation(friendsOf(g, active, v), v, inf2vec.Max),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// friendsOf filters the active set down to v's watchable friends, keeping
+// activation order.
+func friendsOf(g *inf2vec.Graph, active []int32, v int32) []int32 {
+	var fs []int32
+	for _, u := range active {
+		if g.HasEdge(u, v) {
+			fs = append(fs, u)
+		}
+	}
+	return fs
+}

@@ -1,0 +1,3 @@
+module inf2vec
+
+go 1.22

@@ -1,0 +1,189 @@
+package inf2vec
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fixture builds a small planted dataset through the public API: chain
+// influence 0->1 plus an interest community {2,3}.
+func fixture(t *testing.T) (*Graph, *ActionLog) {
+	t.Helper()
+	b := NewGraphBuilder(4)
+	for _, e := range [][2]int32{{0, 1}, {1, 0}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var actions []Action
+	for it := int32(0); it < 40; it++ {
+		actions = append(actions,
+			Action{User: 0, Item: it, Time: 1},
+			Action{User: 1, Item: it, Time: 2},
+		)
+	}
+	for it := int32(40); it < 60; it++ {
+		actions = append(actions,
+			Action{User: 2, Item: it, Time: 1},
+			Action{User: 3, Item: it, Time: 2},
+		)
+	}
+	log, err := NewActionLog(4, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, log
+}
+
+func trainFixture(t *testing.T) *Model {
+	t.Helper()
+	g, log := fixture(t)
+	m, err := Train(g, log, Config{
+		Dim: 12, Iterations: 15, LearningRate: 0.05, ContextLength: 10, Alpha: 0.5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReadGraphAndLog(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("0\t1\n1\t2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph shape %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	log, err := ReadActionLog(strings.NewReader("0\t0\t1\n1\t0\t2\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumUsers() != 2 || log.NumActions() != 2 {
+		t.Fatalf("log shape %d/%d", log.NumUsers(), log.NumActions())
+	}
+}
+
+func TestTrainAndScore(t *testing.T) {
+	m := trainFixture(t)
+	if m.NumUsers() != 4 || m.Dim() != 12 {
+		t.Fatalf("model shape %d/%d", m.NumUsers(), m.Dim())
+	}
+	if m.Score(0, 1) <= m.Score(0, 2) {
+		t.Errorf("influence pair does not outrank unrelated pair: %v vs %v",
+			m.Score(0, 1), m.Score(0, 2))
+	}
+	src := m.SourceEmbedding(0)
+	if len(src) != 12 {
+		t.Fatalf("SourceEmbedding length %d", len(src))
+	}
+	// Returned embeddings must be copies.
+	src[0] = 99
+	if m.SourceEmbedding(0)[0] == 99 {
+		t.Fatal("SourceEmbedding shares storage")
+	}
+	if len(m.TargetEmbedding(3)) != 12 {
+		t.Fatal("TargetEmbedding length")
+	}
+	ba, bc := m.Biases(1)
+	if math.IsNaN(float64(ba)) || math.IsNaN(float64(bc)) {
+		t.Fatal("NaN biases")
+	}
+}
+
+func TestPredictActivationAndRank(t *testing.T) {
+	m := trainFixture(t)
+	score := m.PredictActivation([]int32{0}, 1, Ave)
+	if math.IsNaN(score) {
+		t.Fatal("NaN activation score")
+	}
+	ranked := m.RankInfluenced([]int32{0}, Max, 3)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked list length %d", len(ranked))
+	}
+	if ranked[0].User != 1 {
+		t.Errorf("top influenced by 0 = %d, want 1", ranked[0].User)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("ranking not descending")
+		}
+	}
+	if got := m.RankInfluenced(nil, Max, 3); got != nil {
+		t.Fatalf("empty seeds ranked %v", got)
+	}
+	if got := m.RankInfluenced([]int32{0}, Max, 0); got != nil {
+		t.Fatalf("topK=0 ranked %v", got)
+	}
+}
+
+func TestEvaluateTasks(t *testing.T) {
+	g, log := fixture(t)
+	m := trainFixture(t)
+	act, err := m.EvaluateActivation(g, log, Ave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Episodes == 0 {
+		t.Fatal("activation evaluation saw no episodes")
+	}
+	diff, err := m.EvaluateDiffusion(g, log, Ave, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Episodes == 0 {
+		t.Fatal("diffusion evaluation saw no episodes")
+	}
+}
+
+func TestTrainWithStats(t *testing.T) {
+	g, log := fixture(t)
+	m, stats, err := TrainWithStats(g, log, Config{
+		Dim: 8, Iterations: 4, ContextLength: 10, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || stats == nil {
+		t.Fatal("nil results")
+	}
+	if stats.NumTuples == 0 || stats.NumPositives == 0 {
+		t.Fatalf("empty corpus stats %+v", stats)
+	}
+	if len(stats.EpochLoss) != 4 || len(stats.EpochSeconds) != 4 {
+		t.Fatalf("epoch stats lengths %d/%d, want 4", len(stats.EpochLoss), len(stats.EpochSeconds))
+	}
+	for _, loss := range stats.EpochLoss {
+		if loss > 0 {
+			t.Fatalf("log-likelihood loss %v must be non-positive", loss)
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := trainFixture(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			if m.Score(u, v) != m2.Score(u, v) {
+				t.Fatalf("score (%d,%d) changed after round trip", u, v)
+			}
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not a model")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package actionlog
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"inf2vec/internal/rng"
+)
+
+func sampleActions() []Action {
+	return []Action{
+		{User: 0, Item: 7, Time: 3},
+		{User: 1, Item: 7, Time: 1},
+		{User: 2, Item: 7, Time: 2},
+		{User: 0, Item: 9, Time: 5},
+		{User: 3, Item: 9, Time: 4},
+	}
+}
+
+func TestFromActionsGroupsAndSorts(t *testing.T) {
+	l, err := FromActions(4, sampleActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumEpisodes() != 2 {
+		t.Fatalf("NumEpisodes = %d, want 2", l.NumEpisodes())
+	}
+	if l.NumActions() != 5 {
+		t.Fatalf("NumActions = %d, want 5", l.NumActions())
+	}
+	e := l.Episode(0)
+	if e.Item != 7 {
+		t.Fatalf("episode 0 item = %d, want 7", e.Item)
+	}
+	wantUsers := []int32{1, 2, 0}
+	got := e.Users()
+	for i := range wantUsers {
+		if got[i] != wantUsers[i] {
+			t.Fatalf("episode 7 users = %v, want %v", got, wantUsers)
+		}
+	}
+}
+
+func TestFromActionsCollapsesDuplicates(t *testing.T) {
+	l, err := FromActions(2, []Action{
+		{User: 0, Item: 1, Time: 10},
+		{User: 0, Item: 1, Time: 2}, // earlier duplicate wins
+		{User: 1, Item: 1, Time: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := l.Episode(0)
+	if e.Len() != 2 {
+		t.Fatalf("episode length = %d, want 2", e.Len())
+	}
+	if e.Records[0].User != 0 || e.Records[0].Time != 2 {
+		t.Fatalf("first record = %+v, want user 0 at t=2", e.Records[0])
+	}
+}
+
+func TestFromActionsTieBreaksByUser(t *testing.T) {
+	l, err := FromActions(3, []Action{
+		{User: 2, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := l.Episode(0).Users()
+	if us[0] != 1 || us[1] != 2 {
+		t.Fatalf("tie order = %v, want [1 2]", us)
+	}
+}
+
+func TestFromActionsValidation(t *testing.T) {
+	if _, err := FromActions(0, nil); !errors.Is(err, ErrNoUsers) {
+		t.Errorf("numUsers=0: err = %v, want ErrNoUsers", err)
+	}
+	if _, err := FromActions(2, []Action{{User: 5, Item: 0, Time: 0}}); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if _, err := FromActions(2, []Action{{User: 0, Item: -1, Time: 0}}); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestFromEpisodesValidation(t *testing.T) {
+	good := []Episode{{Item: 0, Records: []Record{{User: 0, Time: 1}, {User: 1, Time: 2}}}}
+	if _, err := FromEpisodes(2, good); err != nil {
+		t.Errorf("valid episodes rejected: %v", err)
+	}
+	outOfOrder := []Episode{{Item: 0, Records: []Record{{User: 0, Time: 2}, {User: 1, Time: 1}}}}
+	if _, err := FromEpisodes(2, outOfOrder); err == nil {
+		t.Error("out-of-order episode accepted")
+	}
+	dup := []Episode{{Item: 0, Records: []Record{{User: 0, Time: 1}, {User: 0, Time: 2}}}}
+	if _, err := FromEpisodes(2, dup); err == nil {
+		t.Error("duplicate-user episode accepted")
+	}
+	oob := []Episode{{Item: 0, Records: []Record{{User: 9, Time: 1}}}}
+	if _, err := FromEpisodes(2, oob); err == nil {
+		t.Error("out-of-universe user accepted")
+	}
+}
+
+func TestUserActionCounts(t *testing.T) {
+	l, err := FromActions(4, sampleActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := l.UserActionCounts()
+	want := []int64{2, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("UserActionCounts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	var actions []Action
+	for item := int32(0); item < 100; item++ {
+		actions = append(actions, Action{User: item % 10, Item: item, Time: 1})
+	}
+	l, err := FromActions(10, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, tune, test, err := l.Split(7, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumEpisodes() != 80 || tune.NumEpisodes() != 10 || test.NumEpisodes() != 10 {
+		t.Fatalf("split sizes = %d/%d/%d, want 80/10/10",
+			train.NumEpisodes(), tune.NumEpisodes(), test.NumEpisodes())
+	}
+	// Partition: every episode appears in exactly one split.
+	seen := map[int32]int{}
+	for _, part := range []*Log{train, tune, test} {
+		part.Episodes(func(e *Episode) { seen[e.Item]++ })
+	}
+	if len(seen) != 100 {
+		t.Fatalf("splits cover %d items, want 100", len(seen))
+	}
+	for it, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d appears in %d splits", it, c)
+		}
+	}
+	// Determinism.
+	train2, _, _, err := l.Split(7, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train2.NumEpisodes() != train.NumEpisodes() || train2.Episode(0).Item != train.Episode(0).Item {
+		t.Fatal("same-seed split differs")
+	}
+}
+
+func TestSplitBadFractions(t *testing.T) {
+	l, err := FromActions(4, sampleActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]float64{{-0.1, 0.5}, {0.5, -0.1}, {0.8, 0.3}} {
+		if _, _, _, err := l.Split(1, c[0], c[1]); err == nil {
+			t.Errorf("fractions %v accepted", c)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l, err := FromActions(10, sampleActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.ComputeStats()
+	if s.NumUsers != 10 || s.NumItems != 2 || s.NumActions != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ActiveUsers != 4 {
+		t.Fatalf("ActiveUsers = %d, want 4", s.ActiveUsers)
+	}
+	if s.MaxEpisode != 3 || s.MeanEpisode != 2.5 {
+		t.Fatalf("episode stats = %+v", s)
+	}
+}
+
+// Property: FromActions never loses or invents adoptions — the per-user
+// total over episodes equals the number of distinct (user,item) inputs.
+func TestFromActionsConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		numUsers := int32(1 + r.Intn(20))
+		numItems := int32(1 + r.Intn(10))
+		n := r.Intn(200)
+		distinct := map[[2]int32]bool{}
+		actions := make([]Action, 0, n)
+		for i := 0; i < n; i++ {
+			a := Action{User: r.Int31n(numUsers), Item: r.Int31n(numItems), Time: r.Float64()}
+			actions = append(actions, a)
+			distinct[[2]int32{a.User, a.Item}] = true
+		}
+		l, err := FromActions(numUsers, actions)
+		if err != nil {
+			return false
+		}
+		return l.NumActions() == int64(len(distinct))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package actionlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadTSV parses an action log from r: one "user<TAB>item<TAB>time" tuple
+// per line (any whitespace separation accepted), '#'-prefixed lines and
+// blank lines ignored. numUsers fixes the user universe; pass 0 to infer it
+// as maxUser+1.
+func ReadTSV(r io.Reader, numUsers int32) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var actions []Action
+	var maxUser int32 = -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("actionlog: line %d: want 3 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad user %q: %w", lineNo, fields[0], err)
+		}
+		it, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad item %q: %w", lineNo, fields[1], err)
+		}
+		ts, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: line %d: bad time %q: %w", lineNo, fields[2], err)
+		}
+		actions = append(actions, Action{User: int32(u), Item: int32(it), Time: ts})
+		if int32(u) > maxUser {
+			maxUser = int32(u)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("actionlog: reading log: %w", err)
+	}
+	if numUsers == 0 {
+		numUsers = maxUser + 1
+	}
+	return FromActions(numUsers, actions)
+}
+
+// WriteTSV writes the log as "user\titem\ttime" lines grouped by episode in
+// chronological order, with a comment header.
+func WriteTSV(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# action log: %d users, %d items, %d actions\n",
+		l.NumUsers(), l.NumEpisodes(), l.NumActions()); err != nil {
+		return fmt.Errorf("actionlog: writing log: %w", err)
+	}
+	var werr error
+	l.Episodes(func(e *Episode) {
+		if werr != nil {
+			return
+		}
+		for _, rec := range e.Records {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", rec.User, e.Item, rec.Time); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return fmt.Errorf("actionlog: writing log: %w", werr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("actionlog: writing log: %w", err)
+	}
+	return nil
+}

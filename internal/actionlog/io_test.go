@@ -1,0 +1,81 @@
+package actionlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadTSV(t *testing.T) {
+	in := "# header\n0\t3\t1.5\n1 3 2.5\n\n0\t4\t7\n"
+	l, err := ReadTSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumUsers() != 2 {
+		t.Fatalf("NumUsers = %d, want 2 (inferred)", l.NumUsers())
+	}
+	if l.NumEpisodes() != 2 || l.NumActions() != 3 {
+		t.Fatalf("episodes=%d actions=%d", l.NumEpisodes(), l.NumActions())
+	}
+}
+
+func TestReadTSVExplicitUniverse(t *testing.T) {
+	l, err := ReadTSV(strings.NewReader("0\t0\t1\n"), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumUsers() != 50 {
+		t.Fatalf("NumUsers = %d, want 50", l.NumUsers())
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"0\t1\n",     // too few fields
+		"x\t1\t2\n",  // bad user
+		"0\ty\t2\n",  // bad item
+		"0\t1\tz\n",  // bad time
+		"0\t-1\t2\n", // negative item caught by FromActions
+		"9\t1\t2\n",  // user outside explicit universe
+	}
+	for i, in := range cases {
+		numUsers := int32(0)
+		if i == len(cases)-1 {
+			numUsers = 5
+		}
+		if _, err := ReadTSV(strings.NewReader(in), numUsers); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	l, err := FromActions(4, sampleActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ReadTSV(&buf, l.NumUsers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumActions() != l.NumActions() || l2.NumEpisodes() != l.NumEpisodes() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+			l.NumEpisodes(), l.NumActions(), l2.NumEpisodes(), l2.NumActions())
+	}
+	for i := 0; i < l.NumEpisodes(); i++ {
+		a, b := l.Episode(i), l2.Episode(i)
+		if a.Item != b.Item || a.Len() != b.Len() {
+			t.Fatalf("episode %d shape changed", i)
+		}
+		for j := range a.Records {
+			if a.Records[j] != b.Records[j] {
+				t.Fatalf("episode %d record %d: %+v != %+v", i, j, a.Records[j], b.Records[j])
+			}
+		}
+	}
+}

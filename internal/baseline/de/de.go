@@ -1,0 +1,24 @@
+// Package de implements the DE baseline of the paper's evaluation: the
+// degree-based edge-probability heuristic P_uv = 1/indegree(v), widely used
+// in influence-maximization work (Kempe et al.). It requires no training and
+// serves as the naive floor in Tables II and III.
+package de
+
+import "inf2vec/internal/graph"
+
+// Model is the degree-based edge prober.
+type Model struct {
+	g *graph.Graph
+}
+
+// New returns the DE model over g.
+func New(g *graph.Graph) *Model { return &Model{g: g} }
+
+// Prob returns 1/indegree(v) when (u,v) is an edge, else 0. The indegree is
+// positive whenever the edge exists, since the edge itself contributes.
+func (m *Model) Prob(u, v int32) float64 {
+	if !m.g.HasEdge(u, v) {
+		return 0
+	}
+	return 1 / float64(m.g.InDegree(v))
+}

@@ -1,0 +1,28 @@
+package de
+
+import (
+	"math"
+	"testing"
+
+	"inf2vec/internal/graph"
+)
+
+func TestProb(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]int32{{0, 2}, {1, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(g)
+	if got := m.Prob(0, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Prob(0,2) = %v, want 0.5 (indegree 2)", got)
+	}
+	if got := m.Prob(0, 3); got != 1 {
+		t.Errorf("Prob(0,3) = %v, want 1 (indegree 1)", got)
+	}
+	if got := m.Prob(2, 0); got != 0 {
+		t.Errorf("non-edge Prob = %v, want 0", got)
+	}
+	if got := m.Prob(3, 2); got != 0 {
+		t.Errorf("non-edge Prob = %v, want 0", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package em implements the EM baseline: the expectation-maximization
+// estimator of IC-model diffusion probabilities by Saito, Nakano & Kimura
+// (KES 2008), adapted — as the paper and Goyal et al. do — from discrete
+// cascade steps to timestamped logs: the potential influencers of an
+// adoption are the adopter's friends who adopted strictly earlier.
+//
+// For each episode and each adopter v with non-empty potential-influencer
+// set B_v, the E-step distributes responsibility
+//
+//	r_uv = P_uv / (1 − ∏_{u'∈B_v} (1 − P_u'v))
+//
+// over u ∈ B_v; the M-step re-estimates P_uv as the summed responsibility
+// over successes divided by the number of trials (episodes in which u
+// adopted and had the opportunity to influence v — v adopted later or not
+// at all).
+package em
+
+import (
+	"fmt"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/ic"
+)
+
+// Config controls the EM estimator.
+type Config struct {
+	// Iterations is the number of EM rounds (paper: converges in 10–20).
+	// Zero selects 20.
+	Iterations int
+	// InitProb initializes every observed edge probability. Zero selects
+	// 0.1.
+	InitProb float64
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 20
+	}
+	if cfg.InitProb == 0 {
+		cfg.InitProb = 0.1
+	}
+	if cfg.Iterations < 0 {
+		return cfg, fmt.Errorf("em: iterations %d must be positive", cfg.Iterations)
+	}
+	if cfg.InitProb <= 0 || cfg.InitProb >= 1 {
+		return cfg, fmt.Errorf("em: initial probability %v outside (0,1)", cfg.InitProb)
+	}
+	return cfg, nil
+}
+
+// Train runs EM over the training log and returns the learned edge
+// probabilities.
+func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*ic.EdgeProbs, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumNodes() < log.NumUsers() {
+		return nil, fmt.Errorf("em: graph has %d nodes but log universe is %d", g.NumNodes(), log.NumUsers())
+	}
+	probs := ic.NewEdgeProbs(g)
+
+	// Success groups: for each (episode, adopter v), the edge slots of v's
+	// potential influencers. Trials: per edge slot, the number of episodes
+	// where the source adopted and could have influenced the target.
+	var groups [][]int64
+	trials := make(map[int64]int64)
+
+	log.Episodes(func(e *actionlog.Episode) {
+		when := make(map[int32]float64, e.Len())
+		for _, r := range e.Records {
+			when[r.User] = r.Time
+		}
+		// Failed trials: u adopted, friend v did not adopt at all.
+		for _, r := range e.Records {
+			u := r.User
+			for _, v := range g.OutNeighbors(u) {
+				tv, member := when[v]
+				slot, ok := probs.Index(u, v)
+				if !ok {
+					continue
+				}
+				switch {
+				case !member:
+					trials[slot]++ // opportunity, no adoption: failure
+				case r.Time < tv:
+					trials[slot]++ // opportunity followed by adoption: success trial
+				default:
+					// v adopted first: u never had the chance; not a trial.
+				}
+			}
+		}
+		// Success groups per adopter.
+		for _, r := range e.Records {
+			v := r.User
+			var group []int64
+			for _, u := range g.InNeighbors(v) {
+				if tu, ok := when[u]; ok && tu < r.Time {
+					if slot, ok := probs.Index(u, v); ok {
+						group = append(group, slot)
+					}
+				}
+			}
+			if len(group) > 0 {
+				groups = append(groups, group)
+			}
+		}
+	})
+
+	// Initialize only edges that ever had a trial; others stay 0.
+	for slot := range trials {
+		probs.SetAt(slot, cfg.InitProb)
+	}
+
+	numer := make(map[int64]float64, len(trials))
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for k := range numer {
+			delete(numer, k)
+		}
+		// E-step: distribute responsibility within each success group.
+		for _, group := range groups {
+			stay := 1.0
+			for _, slot := range group {
+				stay *= 1 - probs.ProbAt(slot)
+			}
+			pPlus := 1 - stay
+			if pPlus <= 0 {
+				// All influencer probabilities are zero; spread evenly to
+				// avoid a stuck all-zero fixed point.
+				share := 1 / float64(len(group))
+				for _, slot := range group {
+					numer[slot] += share
+				}
+				continue
+			}
+			for _, slot := range group {
+				numer[slot] += probs.ProbAt(slot) / pPlus
+			}
+		}
+		// M-step.
+		for slot, t := range trials {
+			if t > 0 {
+				probs.SetAt(slot, numer[slot]/float64(t))
+			}
+		}
+	}
+	return probs, nil
+}

@@ -1,0 +1,203 @@
+// Package embic implements the Emb-IC baseline: the embedded cascade model
+// of Bourigault, Lamprier & Gallinari (WSDM 2016), the state-of-the-art
+// representation approach the paper compares against.
+//
+// Emb-IC keeps the Independent Cascade semantics but parameterizes each
+// edge probability through user embeddings and Euclidean distance:
+//
+//	P_uv = σ(b − ‖ω_u − z_v‖²),
+//
+// with an emitter vector ω_u, a receiver vector z_v and a global offset b.
+// Parameters are learned by the same EM scheme as the Saito estimator
+// (responsibilities over potential influencers in the E-step), with the
+// closed-form M-step replaced by one stochastic-gradient pass over the
+// expected complete-data log-likelihood — successes weighted by their
+// responsibilities plus failed trials — exactly the structure of [10]'s
+// learning algorithm. As in the original, cascades are built from the
+// observed adoption order; unlike Inf2vec, no user-interest channel exists
+// and every update requires the EM responsibilities, which is what makes it
+// slow (the paper's Figure 9).
+//
+// DESIGN.md documents this as an approximation of [10]: the original's
+// per-cascade softmax source attribution is replaced by the Saito-style
+// responsibility model the Inf2vec paper itself attributes to it ("the
+// parameters are inferred by an EM algorithm similar to the algorithm
+// [2]").
+package embic
+
+import (
+	"fmt"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/embed"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/vecmath"
+)
+
+// Config controls Emb-IC training.
+type Config struct {
+	// Dim is the embedding dimension (paper comparisons use the same K as
+	// Inf2vec). Zero selects 50.
+	Dim int
+	// Iterations is the number of EM rounds. Zero selects 15.
+	Iterations int
+	// LearningRate is the M-step SGD step size. Zero selects 0.05.
+	LearningRate float64
+	// Seed drives initialization and example shuffling.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 50
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 15
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.Dim < 0 || cfg.Iterations < 0 || cfg.LearningRate < 0 {
+		return cfg, fmt.Errorf("embic: negative hyperparameter in %+v", cfg)
+	}
+	return cfg, nil
+}
+
+// Model is a trained embedded cascade model. It implements ic.EdgeProber.
+type Model struct {
+	// Store holds ω (source rows) and z (target rows).
+	Store *embed.Store
+	// Bias is the global offset b.
+	Bias float64
+	g    *graph.Graph
+}
+
+// Prob returns P_uv = σ(b − ‖ω_u − z_v‖²) for edges of the social graph and
+// 0 otherwise (influence requires a real social link).
+func (m *Model) Prob(u, v int32) float64 {
+	if !m.g.HasEdge(u, v) {
+		return 0
+	}
+	d := vecmath.SquaredDistance(m.Store.SourceVec(u), m.Store.TargetVec(v))
+	return vecmath.Sigmoid(m.Bias - float64(d))
+}
+
+// Score exposes the pre-sigmoid pair affinity b − ‖ω_u − z_v‖², usable as a
+// latent pair score (e.g. for the Figure 6 visualization).
+func (m *Model) Score(u, v int32) float64 {
+	d := vecmath.SquaredDistance(m.Store.SourceVec(u), m.Store.TargetVec(v))
+	return m.Bias - float64(d)
+}
+
+// exposure is one (source, target) influence opportunity.
+type exposure struct {
+	u, v int32
+}
+
+// Train fits the embedded cascade model on the training log.
+func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumNodes() < log.NumUsers() {
+		return nil, fmt.Errorf("embic: graph has %d nodes but log universe is %d", g.NumNodes(), log.NumUsers())
+	}
+	store, err := embed.New(log.NumUsers(), cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	store.Init(root.Split())
+	m := &Model{Store: store, Bias: 0, g: g}
+
+	// Build success groups (per adoption, its potential influencers) and
+	// failed trials, as in the Saito EM.
+	var groups [][]exposure
+	var failures []exposure
+	log.Episodes(func(e *actionlog.Episode) {
+		when := make(map[int32]float64, e.Len())
+		for _, r := range e.Records {
+			when[r.User] = r.Time
+		}
+		for _, r := range e.Records {
+			u := r.User
+			for _, v := range g.OutNeighbors(u) {
+				if _, member := when[v]; !member {
+					failures = append(failures, exposure{u, v})
+				}
+			}
+		}
+		for _, r := range e.Records {
+			v := r.User
+			var group []exposure
+			for _, u := range g.InNeighbors(v) {
+				if tu, ok := when[u]; ok && tu < r.Time {
+					group = append(group, exposure{u, v})
+				}
+			}
+			if len(group) > 0 {
+				groups = append(groups, group)
+			}
+		}
+	})
+	if len(groups) == 0 && len(failures) == 0 {
+		return m, nil
+	}
+
+	resp := make([][]float64, len(groups))
+	for i := range groups {
+		resp[i] = make([]float64, len(groups[i]))
+	}
+	sgdRNG := root.Split()
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// E-step: responsibilities under the current embeddings.
+		for i, group := range groups {
+			stay := 1.0
+			for _, ex := range group {
+				stay *= 1 - m.Prob(ex.u, ex.v)
+			}
+			pPlus := 1 - stay
+			for j, ex := range group {
+				if pPlus <= 1e-12 {
+					resp[i][j] = 1 / float64(len(group))
+				} else {
+					resp[i][j] = m.Prob(ex.u, ex.v) / pPlus
+				}
+			}
+		}
+		// M-step: one SGD pass over the weighted objective. Success
+		// exposures carry label r (their responsibility); failures carry
+		// label 0. The gradient of the log-likelihood w.r.t. the logit
+		// s = b − ‖ω_u − z_v‖² is (label − σ(s)).
+		order := sgdRNG.Perm(len(groups) + len(failures))
+		for _, idx := range order {
+			if idx < len(groups) {
+				for j, ex := range groups[idx] {
+					m.update(ex, resp[idx][j], cfg.LearningRate)
+				}
+			} else {
+				m.update(failures[idx-len(groups)], 0, cfg.LearningRate)
+			}
+		}
+	}
+	return m, nil
+}
+
+// update applies one gradient step for an exposure with the given label.
+func (m *Model) update(ex exposure, label, lr float64) {
+	su := m.Store.SourceVec(ex.u)
+	tv := m.Store.TargetVec(ex.v)
+	d := vecmath.SquaredDistance(su, tv)
+	p := vecmath.Sigmoid(m.Bias - float64(d))
+	g := float32((label - p) * lr)
+	// ds/dω_u = −2(ω_u − z_v); ds/dz_v = 2(ω_u − z_v); ds/db = 1.
+	for i := range su {
+		diff := su[i] - tv[i]
+		su[i] -= 2 * g * diff
+		tv[i] += 2 * g * diff
+	}
+	m.Bias += float64(g)
+}

@@ -1,0 +1,179 @@
+// Package mf implements the MF baseline: a user-user matrix factorization
+// trained with Bayesian Personalized Ranking (Rendle et al., UAI 2009).
+//
+// The factorized matrix is the co-action matrix — entry (u,v) is the number
+// of items both users adopted — so the model captures exactly the paper's
+// global user-interest-similarity signal and nothing else (no network
+// structure, no propagation order). For user u, BPR learns to rank users
+// who share actions with u above users who share none.
+package mf
+
+import (
+	"fmt"
+	"sort"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/embed"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/vecmath"
+)
+
+// Config controls BPR training.
+type Config struct {
+	// Dim is the latent dimension. Zero selects 50.
+	Dim int
+	// Iterations is the number of epochs; each epoch draws one (positive,
+	// negative) pair per observed co-action. Zero selects 20.
+	Iterations int
+	// LearningRate is the SGD step size. Zero selects 0.05.
+	LearningRate float64
+	// Reg is the L2 regularization weight. Zero selects 0.01; negative
+	// disables regularization.
+	Reg float64
+	// Seed drives initialization and sampling.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 50
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 20
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.Reg == 0 {
+		cfg.Reg = 0.01
+	} else if cfg.Reg < 0 {
+		cfg.Reg = 0
+	}
+	if cfg.Dim < 0 || cfg.Iterations < 0 || cfg.LearningRate < 0 {
+		return cfg, fmt.Errorf("mf: negative hyperparameter in %+v", cfg)
+	}
+	return cfg, nil
+}
+
+// Model is a trained user-user factorization. Score(u,v) = p_u · q_v + b_v,
+// implementing the latent pair scorer used by Eq. 7.
+type Model struct {
+	Store *embed.Store
+}
+
+// Score returns the learned affinity of (u,v).
+func (m *Model) Score(u, v int32) float64 { return m.Store.Score(u, v) }
+
+// Train fits the factorization on the training log's co-action structure.
+func Train(log *actionlog.Log, cfg Config) (*Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	store, err := embed.New(log.NumUsers(), cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	store.Init(root.Split())
+	m := &Model{Store: store}
+
+	positives := coActors(log)
+	var rows []int32 // users with at least one co-actor
+	var totalPos int64
+	for u, ps := range positives {
+		if len(ps) > 0 {
+			rows = append(rows, int32(u))
+			totalPos += int64(len(ps))
+		}
+	}
+	if len(rows) == 0 {
+		return m, nil
+	}
+
+	n := log.NumUsers()
+	r := root.Split()
+	lr := float32(cfg.LearningRate)
+	reg := float32(cfg.Reg)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for draw := int64(0); draw < totalPos; draw++ {
+			u := rows[r.Intn(len(rows))]
+			ps := positives[u]
+			v := ps[r.Intn(len(ps))]
+			// Rejection-sample a negative: a user sharing no action with u.
+			var w int32
+			ok := false
+			for attempt := 0; attempt < 10; attempt++ {
+				w = r.Int31n(n)
+				if w != u && !contains(ps, w) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue // u co-acts with nearly everyone; skip this draw
+			}
+			m.bprStep(u, v, w, lr, reg)
+		}
+	}
+	return m, nil
+}
+
+// bprStep applies one BPR update for the triple (u, v⁺, w⁻).
+func (m *Model) bprStep(u, v, w int32, lr, reg float32) {
+	pu := m.Store.SourceVec(u)
+	qv := m.Store.TargetVec(v)
+	qw := m.Store.TargetVec(w)
+	bv := m.Store.BiasTarget(v)
+	bw := m.Store.BiasTarget(w)
+
+	d := vecmath.Dot(pu, qv) - vecmath.Dot(pu, qw) + *bv - *bw
+	g := float32(vecmath.Sigmoid(-float64(d))) * lr // ∂ lnσ(d)/∂d · lr
+
+	for i := range pu {
+		puI, qvI, qwI := pu[i], qv[i], qw[i]
+		pu[i] += g*(qvI-qwI) - lr*reg*puI
+		qv[i] += g*puI - lr*reg*qvI
+		qw[i] += -g*puI - lr*reg*qwI
+	}
+	*bv += g - lr*reg**bv
+	*bw += -g - lr*reg**bw
+}
+
+// coActors returns, per user, the sorted distinct users sharing at least
+// one adopted item.
+func coActors(log *actionlog.Log) [][]int32 {
+	sets := make([]map[int32]bool, log.NumUsers())
+	log.Episodes(func(e *actionlog.Episode) {
+		users := e.Users()
+		for _, u := range users {
+			if sets[u] == nil {
+				sets[u] = make(map[int32]bool)
+			}
+			for _, v := range users {
+				if v != u {
+					sets[u][v] = true
+				}
+			}
+		}
+	})
+	out := make([][]int32, log.NumUsers())
+	for u, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		lst := make([]int32, 0, len(set))
+		for v := range set {
+			lst = append(lst, v)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		out[u] = lst
+	}
+	return out
+}
+
+// contains reports whether sorted slice ps contains x.
+func contains(ps []int32, x int32) bool {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= x })
+	return i < len(ps) && ps[i] == x
+}

@@ -1,0 +1,164 @@
+// Package node2vec implements the node2vec baseline (Grover & Leskovec,
+// KDD 2016): network embedding from second-order biased random walks
+// trained with window skip-gram and negative sampling.
+//
+// As the paper stresses, node2vec sees only the social network structure —
+// neither the action log nor influence order — which is why it trails the
+// log-aware methods in Tables II and III.
+package node2vec
+
+import (
+	"fmt"
+
+	"inf2vec/internal/embed"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/vecmath"
+	"inf2vec/internal/walk"
+)
+
+// Config controls node2vec training. Zero values select the node2vec
+// paper's defaults.
+type Config struct {
+	// Dim is the embedding dimension. Zero selects 50 (matching the
+	// comparison's K).
+	Dim int
+	// WalksPerNode is r, the number of walks started at every node. Zero
+	// selects 10.
+	WalksPerNode int
+	// WalkLength is l. Zero selects 80.
+	WalkLength int
+	// Window is the skip-gram context radius k. Zero selects 10.
+	Window int
+	// P and Q are the return and in-out bias parameters. Zero selects 1.
+	P float64
+	Q float64
+	// NegativeSamples per positive. Zero selects 5.
+	NegativeSamples int
+	// LearningRate is the SGD step size. Zero selects 0.025 (word2vec's
+	// default).
+	LearningRate float64
+	// Epochs over the walk corpus. Zero selects 3.
+	Epochs int
+	// Seed drives walks, sampling and initialization.
+	Seed uint64
+}
+
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 50
+	}
+	if cfg.WalksPerNode == 0 {
+		cfg.WalksPerNode = 10
+	}
+	if cfg.WalkLength == 0 {
+		cfg.WalkLength = 80
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 10
+	}
+	if cfg.P == 0 {
+		cfg.P = 1
+	}
+	if cfg.Q == 0 {
+		cfg.Q = 1
+	}
+	if cfg.NegativeSamples == 0 {
+		cfg.NegativeSamples = 5
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.025
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 3
+	}
+	if cfg.Dim < 0 || cfg.WalksPerNode < 0 || cfg.WalkLength < 0 || cfg.Window < 0 ||
+		cfg.P < 0 || cfg.Q < 0 || cfg.NegativeSamples < 0 || cfg.LearningRate < 0 || cfg.Epochs < 0 {
+		return cfg, fmt.Errorf("node2vec: negative hyperparameter in %+v", cfg)
+	}
+	return cfg, nil
+}
+
+// Model is a trained node2vec embedding. Score(u,v) is the skip-gram logit
+// emb_u · ctx_v (stored as source/target rows; biases remain zero).
+type Model struct {
+	Store *embed.Store
+}
+
+// Score returns the learned affinity of (u,v).
+func (m *Model) Score(u, v int32) float64 { return m.Store.Score(u, v) }
+
+// Train embeds the graph. The walk corpus is regenerated every epoch and
+// streamed straight into SGD, so memory stays O(walk length).
+func Train(g *graph.Graph, cfg Config) (*Model, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("node2vec: empty graph")
+	}
+	store, err := embed.New(g.NumNodes(), cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	store.Init(root.Split())
+	m := &Model{Store: store}
+
+	// Negative-sampling distribution: unigram^0.75 over degree, the
+	// stationary visit frequency proxy.
+	counts := make([]int64, g.NumNodes())
+	for u := int32(0); u < g.NumNodes(); u++ {
+		counts[u] = int64(g.OutDegree(u) + g.InDegree(u))
+	}
+	neg, err := rng.NewUnigramTable(counts, 0.75)
+	if err != nil {
+		return nil, fmt.Errorf("node2vec: negative table: %w", err)
+	}
+
+	r := root.Split()
+	lr := float32(cfg.LearningRate)
+	walker := &walk.Node2vec{G: g, P: cfg.P, Q: cfg.Q}
+	srcGrad := make([]float32, cfg.Dim)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := r.Perm(int(g.NumNodes()))
+		for _, start := range order {
+			if g.OutDegree(int32(start)) == 0 {
+				continue
+			}
+			for wk := 0; wk < cfg.WalksPerNode; wk++ {
+				path := walker.Walk(int32(start), cfg.WalkLength, r)
+				walk.WindowPairs(path, cfg.Window, func(center, context int32) {
+					m.sgdStep(center, context, neg, cfg.NegativeSamples, lr, srcGrad, r)
+				})
+			}
+		}
+	}
+	return m, nil
+}
+
+// sgdStep applies one skip-gram negative-sampling update for (center,
+// context).
+func (m *Model) sgdStep(center, context int32, neg *rng.UnigramTable, negSamples int, lr float32, srcGrad []float32, r *rng.RNG) {
+	su := m.Store.SourceVec(center)
+	vecmath.Zero(srcGrad)
+
+	apply := func(x int32, label float32) {
+		tx := m.Store.TargetVec(x)
+		z := vecmath.Dot(su, tx)
+		g := (label - vecmath.FastSigmoid(z)) * lr
+		vecmath.Axpy(g, tx, srcGrad)
+		vecmath.Axpy(g, su, tx)
+	}
+	apply(context, 1)
+	for s := 0; s < negSamples; s++ {
+		w := neg.Sample(r)
+		if w == context || w == center {
+			continue
+		}
+		apply(w, 0)
+	}
+	vecmath.Axpy(1, srcGrad, su)
+}

@@ -1,0 +1,48 @@
+// Package st implements the ST baseline: the static influence model of
+// Goyal, Bonchi & Lakshmanan (WSDM 2010), which estimates each edge's
+// propagation probability with the maximum-likelihood co-occurrence
+// estimator
+//
+//	P_uv = A_{u2v} / A_u,
+//
+// where A_{u2v} counts the actions that propagated from u to v (episodes
+// containing the influence pair u -> v) and A_u counts all of u's actions.
+package st
+
+import (
+	"fmt"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/diffusion"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/ic"
+)
+
+// Train computes the ST edge probabilities from the training log.
+func Train(g *graph.Graph, log *actionlog.Log) (*ic.EdgeProbs, error) {
+	if g.NumNodes() < log.NumUsers() {
+		return nil, fmt.Errorf("st: graph has %d nodes but log universe is %d", g.NumNodes(), log.NumUsers())
+	}
+	probs := ic.NewEdgeProbs(g)
+	actions := log.UserActionCounts()
+
+	// A_{u2v}: per-edge propagation counts. An influence pair can occur at
+	// most once per episode (episodes deduplicate users), so counting pair
+	// occurrences counts propagated actions.
+	counts := make(map[diffusion.Pair]int64)
+	log.Episodes(func(e *actionlog.Episode) {
+		for _, p := range diffusion.EpisodePairs(g, e) {
+			counts[p]++
+		}
+	})
+	for p, c := range counts {
+		au := actions[p.Source]
+		if au == 0 {
+			continue // unreachable: a pair implies the source acted
+		}
+		if err := probs.Set(p.Source, p.Target, float64(c)/float64(au)); err != nil {
+			return nil, fmt.Errorf("st: %w", err)
+		}
+	}
+	return probs, nil
+}

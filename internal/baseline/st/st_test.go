@@ -1,0 +1,102 @@
+package st
+
+import (
+	"math"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+)
+
+func TestTrainMLE(t *testing.T) {
+	g, err := graph.FromEdges(3, [][2]int32{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 acts in 4 episodes; user 1 follows in 2 of them, user 2 in 1.
+	var actions []actionlog.Action
+	for it := int32(0); it < 4; it++ {
+		actions = append(actions, actionlog.Action{User: 0, Item: it, Time: 1})
+	}
+	actions = append(actions,
+		actionlog.Action{User: 1, Item: 0, Time: 2},
+		actionlog.Action{User: 1, Item: 1, Time: 2},
+		actionlog.Action{User: 2, Item: 2, Time: 2},
+	)
+	l, err := actionlog.FromActions(3, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Train(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probs.Prob(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P(0,1) = %v, want 2/4", got)
+	}
+	if got := probs.Prob(0, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("P(0,2) = %v, want 1/4", got)
+	}
+}
+
+func TestTrainNoPropagation(t *testing.T) {
+	g, err := graph.FromEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse order: no influence pair, so probability stays 0.
+	l, err := actionlog.FromActions(2, []actionlog.Action{
+		{User: 1, Item: 0, Time: 1},
+		{User: 0, Item: 0, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Train(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probs.Prob(0, 1); got != 0 {
+		t.Errorf("P(0,1) = %v, want 0", got)
+	}
+}
+
+func TestTrainUniverseMismatch(t *testing.T) {
+	g, err := graph.FromEdges(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(g, l); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func TestTrainProbsBounded(t *testing.T) {
+	// Repeated pairs can never push the MLE above 1 because A_{u2v} <= A_u.
+	g, err := graph.FromEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []actionlog.Action
+	for it := int32(0); it < 10; it++ {
+		actions = append(actions,
+			actionlog.Action{User: 0, Item: it, Time: 1},
+			actionlog.Action{User: 1, Item: it, Time: 2},
+		)
+	}
+	l, err := actionlog.FromActions(2, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := Train(g, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := probs.Prob(0, 1); got != 1 {
+		t.Errorf("always-propagating edge P = %v, want 1", got)
+	}
+}

@@ -1,0 +1,126 @@
+// Package core implements Inf2vec, the paper's contribution: a latent
+// representation model for social influence embedding.
+//
+// Training follows Algorithm 2. First, influence contexts are generated
+// from the social graph and the training action log (Algorithm 1): for each
+// adopter u of each episode, the context C_u^i blends L·α nodes from a
+// random walk with restart on the episode's propagation network (the local
+// influence context) with L·(1−α) nodes sampled uniformly from the
+// episode's adopters (the global user-similarity context). Second, a
+// skip-gram model with negative sampling (Eqs. 3–6) is fit to the tuples by
+// stochastic gradient descent, learning a source embedding S_u, a target
+// embedding T_u, an influence-ability bias b_u and a conformity bias b̃_u
+// per user.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config collects Inf2vec's hyperparameters. Zero values select the paper's
+// defaults (applied by withDefaults): K=50, L=50, α=0.1, restart 0.5,
+// γ=0.005, |N|=5, 10 iterations, uniform negative sampling, single worker.
+type Config struct {
+	// Dim is the embedding dimension K.
+	Dim int
+	// ContextLength is the context size threshold L of Algorithm 1.
+	ContextLength int
+	// Alpha is the component weight α: the fraction of the context drawn
+	// from the local random walk (the rest is global similarity samples).
+	// Alpha = 1 yields the paper's Inf2vec-L ablation. Alpha is only
+	// defaulted when negative; an explicit 0 means "global context only".
+	Alpha float64
+	// RestartRatio is the random walk restart probability (paper: 0.5).
+	RestartRatio float64
+	// LearningRate is the SGD step size γ.
+	LearningRate float64
+	// DecayLearningRate linearly anneals the step size from γ to γ/10 over
+	// the training run, word2vec's schedule. The paper's C++ implementation
+	// inherits this behaviour from word2vec; it mostly matters for the
+	// final ranking precision.
+	DecayLearningRate bool
+	// NegativeSamples is |N|, the number of negative samples per positive.
+	NegativeSamples int
+	// Iterations is the number of SGD passes over the generated tuples.
+	Iterations int
+	// NegativePower selects the negative-sampling distribution: 0 samples
+	// uniformly over users (the paper's wording); 0.75 uses the word2vec
+	// unigram^0.75 distribution over context frequencies. Values in between
+	// interpolate.
+	NegativePower float64
+	// DisableBiases drops b_u and b̃_v from the model (ablation of the
+	// paper's global-property argument, §III-B).
+	DisableBiases bool
+	// RegenerateContexts redraws every influence context (fresh random
+	// walks and fresh similarity samples) at the start of each SGD pass,
+	// instead of Algorithm 2's generate-once protocol. This is a
+	// data-augmentation variant: the model sees the expected context
+	// distribution rather than one sample of it, which reduces overfitting
+	// to a particular draw on small logs. Costs one context generation per
+	// iteration.
+	RegenerateContexts bool
+	// FirstOrderOnly skips Algorithm 1 and trains on the raw social
+	// influence pairs only — the setting of the paper's efficiency
+	// comparison ("without Algorithm 1") and of the citation case study.
+	FirstOrderOnly bool
+	// Workers is the number of hogwild SGD goroutines. 1 (the default) is
+	// fully deterministic given Seed.
+	Workers int
+	// Seed drives every random choice (init, walks, sampling, shuffles).
+	Seed uint64
+}
+
+// ErrBadConfig is returned when a configuration field is out of range.
+var ErrBadConfig = errors.New("core: invalid config")
+
+// withDefaults returns cfg with zero fields replaced by the paper's default
+// hyperparameters, validating the result.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Dim == 0 {
+		cfg.Dim = 50
+	}
+	if cfg.ContextLength == 0 {
+		cfg.ContextLength = 50
+	}
+	if cfg.Alpha < 0 {
+		cfg.Alpha = 0.1
+	}
+	if cfg.RestartRatio == 0 {
+		cfg.RestartRatio = 0.5
+	}
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.005
+	}
+	if cfg.NegativeSamples == 0 {
+		cfg.NegativeSamples = 5
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 10
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+
+	switch {
+	case cfg.Dim < 0:
+		return cfg, fmt.Errorf("%w: Dim %d", ErrBadConfig, cfg.Dim)
+	case cfg.ContextLength < 0:
+		return cfg, fmt.Errorf("%w: ContextLength %d", ErrBadConfig, cfg.ContextLength)
+	case cfg.Alpha > 1:
+		return cfg, fmt.Errorf("%w: Alpha %v outside [0,1]", ErrBadConfig, cfg.Alpha)
+	case cfg.RestartRatio < 0 || cfg.RestartRatio > 1:
+		return cfg, fmt.Errorf("%w: RestartRatio %v outside [0,1]", ErrBadConfig, cfg.RestartRatio)
+	case cfg.LearningRate < 0:
+		return cfg, fmt.Errorf("%w: LearningRate %v", ErrBadConfig, cfg.LearningRate)
+	case cfg.NegativeSamples < 0:
+		return cfg, fmt.Errorf("%w: NegativeSamples %d", ErrBadConfig, cfg.NegativeSamples)
+	case cfg.Iterations < 0:
+		return cfg, fmt.Errorf("%w: Iterations %d", ErrBadConfig, cfg.Iterations)
+	case cfg.NegativePower < 0 || cfg.NegativePower > 1:
+		return cfg, fmt.Errorf("%w: NegativePower %v outside [0,1]", ErrBadConfig, cfg.NegativePower)
+	case cfg.Workers < 0:
+		return cfg, fmt.Errorf("%w: Workers %d", ErrBadConfig, cfg.Workers)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWithDefaults(t *testing.T) {
+	cfg, err := Config{Alpha: -1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Dim != 50 || cfg.ContextLength != 50 || cfg.Alpha != 0.1 ||
+		cfg.RestartRatio != 0.5 || cfg.LearningRate != 0.005 ||
+		cfg.NegativeSamples != 5 || cfg.Iterations != 10 || cfg.Workers != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestExplicitZeroAlphaKept(t *testing.T) {
+	cfg, err := Config{Alpha: 0}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Alpha != 0 {
+		t.Fatalf("Alpha = %v, want explicit 0 preserved", cfg.Alpha)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Dim: -1},
+		{ContextLength: -5},
+		{Alpha: 1.5},
+		{RestartRatio: -0.1},
+		{RestartRatio: 1.1},
+		{LearningRate: -0.01},
+		{NegativeSamples: -1},
+		{Iterations: -2},
+		{NegativePower: -0.5},
+		{NegativePower: 2},
+		{Workers: -3},
+	}
+	for _, cfg := range bad {
+		if _, err := cfg.withDefaults(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: err = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/diffusion"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/walk"
+)
+
+// Tuple is one (center user, influence context) training example — the
+// (u, C_u^i) of Algorithm 1. Context entries are user IDs and may repeat.
+type Tuple struct {
+	Center  int32
+	Context []int32
+}
+
+// Corpus is the full set of training tuples generated from an action log,
+// plus the per-user context-occurrence counts that parameterize weighted
+// negative sampling.
+type Corpus struct {
+	Tuples       []Tuple
+	ContextFreq  []int64 // per user: occurrences as a context node
+	NumPositives int64   // total context entries (SGD positives per pass)
+}
+
+// episodeContexts implements Algorithm 1 for every adopter of one episode,
+// appending the resulting tuples.
+func episodeContexts(pn *diffusion.PropNet, cfg Config, r *rng.RNG, out []Tuple) []Tuple {
+	n := pn.NumNodes()
+	localLen := int(float64(cfg.ContextLength)*cfg.Alpha + 0.5)
+	globalLen := cfg.ContextLength - localLen
+	for i := int32(0); int(i) < n; i++ {
+		ctx := make([]int32, 0, cfg.ContextLength)
+		// C_1: local influence context via random walk with restart.
+		for _, j := range walk.Restart(pn, i, localLen, cfg.RestartRatio, r) {
+			ctx = append(ctx, pn.User(j))
+		}
+		// C_2: global user-similarity context — uniform samples from V_i,
+		// excluding the center itself (a user does not influence their own
+		// adoption).
+		if n > 1 {
+			for s := 0; s < globalLen; s++ {
+				j := int32(r.Intn(n))
+				if j == i {
+					// Resample once; on a second collision skip, keeping the
+					// sampler O(1) without biasing small episodes noticeably.
+					j = int32(r.Intn(n))
+					if j == i {
+						continue
+					}
+				}
+				ctx = append(ctx, pn.User(j))
+			}
+		}
+		if len(ctx) == 0 {
+			continue
+		}
+		out = append(out, Tuple{Center: pn.User(i), Context: ctx})
+	}
+	return out
+}
+
+// episodePairTuples emits first-order tuples only: one tuple per adopter
+// whose context lists exactly the adopter's direct influence-pair targets.
+// This is the "without Algorithm 1" mode of the efficiency experiment and
+// the citation case study.
+func episodePairTuples(pn *diffusion.PropNet, out []Tuple) []Tuple {
+	for i := int32(0); int(i) < pn.NumNodes(); i++ {
+		succ := pn.OutLocal(i)
+		if len(succ) == 0 {
+			continue
+		}
+		ctx := make([]int32, len(succ))
+		for k, j := range succ {
+			ctx[k] = pn.User(j)
+		}
+		out = append(out, Tuple{Center: pn.User(i), Context: ctx})
+	}
+	return out
+}
+
+// CorpusFromPairs builds a first-order training corpus directly from
+// influence pairs, one tuple per source user whose context lists the
+// sources' targets with multiplicity. The citation case study (§V-D) trains
+// this way: "we only exploit first-order social influence pairs in [the]
+// embedding model".
+func CorpusFromPairs(numUsers int32, pairs []diffusion.Pair) *Corpus {
+	bySource := make(map[int32][]int32)
+	for _, p := range pairs {
+		bySource[p.Source] = append(bySource[p.Source], p.Target)
+	}
+	c := &Corpus{ContextFreq: make([]int64, numUsers)}
+	for u := int32(0); u < numUsers; u++ {
+		targets, ok := bySource[u]
+		if !ok {
+			continue
+		}
+		c.Tuples = append(c.Tuples, Tuple{Center: u, Context: targets})
+		for _, v := range targets {
+			c.ContextFreq[v]++
+			c.NumPositives++
+		}
+	}
+	return c
+}
+
+// GenerateCorpus runs the context-generation phase of Algorithm 2 (lines
+// 3–8) over every episode of the log.
+func GenerateCorpus(g *graph.Graph, log *actionlog.Log, cfg Config, r *rng.RNG) *Corpus {
+	c := &Corpus{ContextFreq: make([]int64, log.NumUsers())}
+	log.Episodes(func(e *actionlog.Episode) {
+		pn := diffusion.BuildPropNet(g, e)
+		if cfg.FirstOrderOnly {
+			c.Tuples = episodePairTuples(pn, c.Tuples)
+		} else {
+			c.Tuples = episodeContexts(pn, cfg, r, c.Tuples)
+		}
+	})
+	for _, t := range c.Tuples {
+		for _, v := range t.Context {
+			c.ContextFreq[v]++
+			c.NumPositives++
+		}
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+)
+
+// chainData builds a 4-user chain graph 0->1->2->3 with episodes in which
+// all four users adopt in chain order.
+func chainData(t *testing.T, episodes int) (*graph.Graph, *actionlog.Log) {
+	t.Helper()
+	g, err := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []actionlog.Action
+	for it := int32(0); int(it) < episodes; it++ {
+		for u := int32(0); u < 4; u++ {
+			actions = append(actions, actionlog.Action{User: u, Item: it, Time: float64(u)})
+		}
+	}
+	l, err := actionlog.FromActions(4, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l
+}
+
+func mustCfg(t *testing.T, cfg Config) Config {
+	t.Helper()
+	out, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGenerateCorpusLocalOnly(t *testing.T) {
+	g, l := chainData(t, 3)
+	cfg := mustCfg(t, Config{Alpha: 1, ContextLength: 10})
+	corpus := GenerateCorpus(g, l, cfg, rng.New(1))
+	if len(corpus.Tuples) == 0 {
+		t.Fatal("no tuples generated")
+	}
+	// With α=1 every context node must be a strict descendant of the center
+	// in the chain (greater user ID), and user 3 (the sink) has no tuple.
+	for _, tu := range corpus.Tuples {
+		if tu.Center == 3 {
+			t.Fatal("sink user has a local-only tuple")
+		}
+		for _, v := range tu.Context {
+			if v <= tu.Center {
+				t.Fatalf("center %d has non-descendant context %d under α=1", tu.Center, v)
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusGlobalOnly(t *testing.T) {
+	g, l := chainData(t, 2)
+	cfg := mustCfg(t, Config{Alpha: 0, ContextLength: 12})
+	corpus := GenerateCorpus(g, l, cfg, rng.New(2))
+	// With α=0 contexts are uniform co-adopter samples: every user gets a
+	// tuple (all episodes have 4 adopters) and no context contains the
+	// center itself.
+	if len(corpus.Tuples) != 8 {
+		t.Fatalf("tuples = %d, want 8 (4 users x 2 episodes)", len(corpus.Tuples))
+	}
+	for _, tu := range corpus.Tuples {
+		if len(tu.Context) == 0 || len(tu.Context) > 12 {
+			t.Fatalf("context length %d outside (0,12]", len(tu.Context))
+		}
+		for _, v := range tu.Context {
+			if v == tu.Center {
+				t.Fatalf("center %d appears in its own global context", tu.Center)
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusMixedSplit(t *testing.T) {
+	g, l := chainData(t, 1)
+	cfg := mustCfg(t, Config{Alpha: 0.5, ContextLength: 20})
+	corpus := GenerateCorpus(g, l, cfg, rng.New(3))
+	// Center 0 has successors, so it gets 10 local + 10 global entries.
+	for _, tu := range corpus.Tuples {
+		if tu.Center == 0 && len(tu.Context) != 20 {
+			t.Fatalf("center 0 context length = %d, want 20", len(tu.Context))
+		}
+		// Sink user 3 gets only the global half.
+		if tu.Center == 3 && len(tu.Context) > 10 {
+			t.Fatalf("sink context length = %d, want <= 10", len(tu.Context))
+		}
+	}
+}
+
+func TestGenerateCorpusFirstOrderOnly(t *testing.T) {
+	g, l := chainData(t, 2)
+	cfg := mustCfg(t, Config{FirstOrderOnly: true})
+	corpus := GenerateCorpus(g, l, cfg, rng.New(4))
+	// Chain: users 0,1,2 each influence exactly their direct successor, per
+	// episode; user 3 has none.
+	if len(corpus.Tuples) != 6 {
+		t.Fatalf("tuples = %d, want 6", len(corpus.Tuples))
+	}
+	for _, tu := range corpus.Tuples {
+		if len(tu.Context) != 1 || tu.Context[0] != tu.Center+1 {
+			t.Fatalf("first-order tuple %+v, want context [center+1]", tu)
+		}
+	}
+}
+
+func TestGenerateCorpusSingletonEpisode(t *testing.T) {
+	g, err := graph.FromEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(2, []actionlog.Action{{User: 0, Item: 0, Time: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := GenerateCorpus(g, l, mustCfg(t, Config{}), rng.New(5))
+	if len(corpus.Tuples) != 0 {
+		t.Fatalf("singleton episode produced tuples %v", corpus.Tuples)
+	}
+}
+
+// Property: corpus bookkeeping is consistent — ContextFreq sums to
+// NumPositives, which equals the total context entries, and every context
+// node is a valid user.
+func TestCorpusAccounting(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := int32(2 + r.Intn(15))
+		b := graph.NewBuilder(n)
+		for i := 0; i < r.Intn(60); i++ {
+			if err := b.AddEdge(r.Int31n(n), r.Int31n(n)); err != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		var actions []actionlog.Action
+		for it := int32(0); it < 3; it++ {
+			for u := int32(0); u < n; u++ {
+				if r.Bernoulli(0.6) {
+					actions = append(actions, actionlog.Action{User: u, Item: it, Time: r.Float64()})
+				}
+			}
+		}
+		if len(actions) == 0 {
+			return true
+		}
+		l, err := actionlog.FromActions(n, actions)
+		if err != nil {
+			return false
+		}
+		cfg, err := Config{ContextLength: 1 + r.Intn(30), Alpha: r.Float64()}.withDefaults()
+		if err != nil {
+			return false
+		}
+		corpus := GenerateCorpus(g, l, cfg, r.Split())
+		var freqSum, entries int64
+		for _, f := range corpus.ContextFreq {
+			if f < 0 {
+				return false
+			}
+			freqSum += f
+		}
+		for _, tu := range corpus.Tuples {
+			if tu.Center < 0 || tu.Center >= n {
+				return false
+			}
+			if len(tu.Context) == 0 || len(tu.Context) > cfg.ContextLength {
+				return false
+			}
+			for _, v := range tu.Context {
+				if v < 0 || v >= n {
+					return false
+				}
+			}
+			entries += int64(len(tu.Context))
+		}
+		return freqSum == corpus.NumPositives && entries == corpus.NumPositives
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

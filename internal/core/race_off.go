@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the Go race detector is compiled in. Hogwild
+// SGD relies on benign lock-free races that the detector would (correctly,
+// per the Go memory model) flag, so Train degrades to one worker when it is.
+const raceEnabled = false

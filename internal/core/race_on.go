@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the Go race detector is compiled in. See
+// race_off.go.
+const raceEnabled = true

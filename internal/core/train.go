@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/embed"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/vecmath"
+)
+
+// Model is a trained Inf2vec model: the embedding store plus the
+// configuration that produced it.
+type Model struct {
+	Store  *embed.Store
+	Config Config
+}
+
+// Score returns x(u,v) = S_u · T_v + b_u + b̃_v, the learned likelihood that
+// u influences v (Eq. 7's per-pair term).
+func (m *Model) Score(u, v int32) float64 { return m.Store.Score(u, v) }
+
+// EpochStat records one SGD pass for convergence and efficiency reporting
+// (the paper's Figure 9 measures exactly Duration at varying K).
+type EpochStat struct {
+	// Loss is the mean negative-sampling objective (Eq. 4) per positive,
+	// estimated over the pass; higher (closer to zero) is better.
+	Loss float64
+	// Duration is the wall-clock time of the pass.
+	Duration time.Duration
+}
+
+// Result is the outcome of Train.
+type Result struct {
+	Model *Model
+	// ContextGeneration is the wall-clock time of Algorithm 2 lines 3–8.
+	ContextGeneration time.Duration
+	// Epochs has one entry per SGD pass.
+	Epochs []EpochStat
+	// NumTuples and NumPositives describe the generated corpus (|P| and
+	// |P|·L in the paper's complexity analysis).
+	NumTuples    int
+	NumPositives int64
+
+	// regen redraws the corpus for RegenerateContexts training; nil when
+	// the caller supplied the corpus directly (TrainOnCorpus).
+	regen func(r *rng.RNG) *Corpus
+}
+
+// Train runs Algorithm 2: generate the influence-context corpus, then fit
+// the embeddings by negative-sampling SGD. The provided log must be the
+// training split.
+func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if g.NumNodes() < log.NumUsers() {
+		return nil, fmt.Errorf("core: graph has %d nodes but log speaks of %d users", g.NumNodes(), log.NumUsers())
+	}
+	root := rng.New(cfg.Seed)
+
+	start := time.Now()
+	corpus := GenerateCorpus(g, log, cfg, root.Split())
+	ctxTime := time.Since(start)
+
+	var regen func(r *rng.RNG) *Corpus
+	if cfg.RegenerateContexts {
+		regen = func(r *rng.RNG) *Corpus { return GenerateCorpus(g, log, cfg, r) }
+	}
+	return trainOnCorpus(log.NumUsers(), corpus, cfg, root, ctxTime, regen)
+}
+
+// TrainOnCorpus fits the embeddings to an already-generated corpus. It is
+// the entry point for callers that build influence contexts themselves —
+// the citation case study trains directly on first-order influence pairs
+// this way.
+func TrainOnCorpus(numUsers int32, corpus *Corpus, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if int32(len(corpus.ContextFreq)) != numUsers {
+		return nil, fmt.Errorf("core: corpus frequency table covers %d users, want %d", len(corpus.ContextFreq), numUsers)
+	}
+	return trainOnCorpus(numUsers, corpus, cfg, rng.New(cfg.Seed), 0, nil)
+}
+
+// trainOnCorpus is the shared SGD phase of Algorithm 2 (lines 9–17).
+func trainOnCorpus(numUsers int32, corpus *Corpus, cfg Config, root *rng.RNG, ctxTime time.Duration, regen func(*rng.RNG) *Corpus) (*Result, error) {
+	store, err := embed.New(numUsers, cfg.Dim)
+	if err != nil {
+		return nil, err
+	}
+	store.Init(root.Split())
+
+	neg, err := rng.NewUnigramTable(corpus.ContextFreq, cfg.NegativePower)
+	if err != nil {
+		return nil, fmt.Errorf("core: building negative-sampling table: %w", err)
+	}
+
+	res := &Result{
+		Model:             &Model{Store: store, Config: cfg},
+		ContextGeneration: ctxTime,
+		NumTuples:         len(corpus.Tuples),
+		NumPositives:      corpus.NumPositives,
+		regen:             regen,
+	}
+	if len(corpus.Tuples) == 0 {
+		// Nothing to learn from (empty or influence-free log): return the
+		// random-initialized model rather than failing, mirroring how the
+		// paper's method degrades on propagation-free data.
+		return res, nil
+	}
+
+	workerRNGs := makeWorkerRNGs(cfg, len(corpus.Tuples), root)
+	orderRNG := root.Split()
+	for epoch := 0; epoch < cfg.Iterations; epoch++ {
+		if cfg.RegenerateContexts && epoch > 0 && res.regen != nil {
+			corpus = res.regen(root.Split())
+			var nerr error
+			neg, nerr = rng.NewUnigramTable(corpus.ContextFreq, cfg.NegativePower)
+			if nerr != nil {
+				return nil, fmt.Errorf("core: rebuilding negative-sampling table: %w", nerr)
+			}
+		}
+		order := orderRNG.Perm(len(corpus.Tuples))
+		t0 := time.Now()
+		totalLoss, totalPos := runEpoch(store, corpus.Tuples, order, neg, cfg, epochGamma(cfg, epoch), workerRNGs)
+		stat := EpochStat{Duration: time.Since(t0)}
+		if totalPos > 0 {
+			stat.Loss = totalLoss / float64(totalPos)
+		}
+		res.Epochs = append(res.Epochs, stat)
+	}
+	return res, nil
+}
+
+// epochGamma returns the step size for one pass under the optional linear
+// decay schedule.
+func epochGamma(cfg Config, epoch int) float32 {
+	if cfg.DecayLearningRate && cfg.Iterations > 1 {
+		frac := float64(epoch) / float64(cfg.Iterations)
+		return float32(cfg.LearningRate * (1 - 0.9*frac))
+	}
+	return float32(cfg.LearningRate)
+}
+
+// makeWorkerRNGs allocates one generator per hogwild worker.
+func makeWorkerRNGs(cfg Config, numTuples int, root *rng.RNG) []*rng.RNG {
+	workers := cfg.Workers
+	if workers > numTuples {
+		workers = numTuples
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if raceEnabled {
+		// Hogwild's lock-free row updates are deliberate data races; under
+		// the race detector run sequentially instead.
+		workers = 1
+	}
+	out := make([]*rng.RNG, workers)
+	for i := range out {
+		out[i] = root.Split()
+	}
+	return out
+}
+
+// runEpoch executes one SGD pass, sharded across the worker generators.
+func runEpoch(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, workerRNGs []*rng.RNG) (totalLoss float64, totalPos int64) {
+	workers := len(workerRNGs)
+	if workers == 1 {
+		return sgdPass(store, tuples, order, neg, cfg, gamma, workerRNGs[0])
+	}
+	// Hogwild: shards update the shared store without locks. Lost updates
+	// on colliding rows are rare and benign for SGD; results are
+	// statistically (not bitwise) reproducible.
+	var wg sync.WaitGroup
+	losses := make([]float64, workers)
+	counts := make([]int64, workers)
+	chunk := (len(order) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			losses[w], counts[w] = sgdPass(store, tuples, order[lo:hi], neg, cfg, gamma, workerRNGs[w])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		totalLoss += losses[w]
+		totalPos += counts[w]
+	}
+	return totalLoss, totalPos
+}
+
+// sgdPass performs one pass over the tuples selected by order at step size
+// gamma, applying the Eq. 5/6 updates, and returns the summed Eq. 4
+// objective and the number of positives processed.
+func sgdPass(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, r *rng.RNG) (loss float64, positives int64) {
+	k := store.Dim()
+	srcGrad := make([]float32, k) // accumulated update for S_u across one positive + its negatives
+
+	for _, ti := range order {
+		t := &tuples[ti]
+		u := t.Center
+		su := store.SourceVec(u)
+		bu := store.BiasSource(u)
+		for _, v := range t.Context {
+			vecmath.Zero(srcGrad)
+
+			// Positive example: label 1, gradient coefficient (1 - σ(z_v)).
+			loss += applyExample(store, su, bu, u, v, 1, gamma, srcGrad, cfg)
+			positives++
+
+			// Negative examples: label 0, coefficient (0 - σ(z_w)).
+			for s := 0; s < cfg.NegativeSamples; s++ {
+				w := neg.Sample(r)
+				if w == v || w == u {
+					continue
+				}
+				loss += applyExample(store, su, bu, u, w, 0, gamma, srcGrad, cfg)
+			}
+			vecmath.Axpy(1, srcGrad, su)
+		}
+	}
+	return loss, positives
+}
+
+// applyExample performs the shared positive/negative update for pair (u,x)
+// with the given label, accumulating the S_u gradient into srcGrad (applied
+// by the caller once per positive block, word2vec style) and updating T_x
+// and the biases in place. It returns the example's log-sigmoid objective
+// contribution.
+func applyExample(store *embed.Store, su []float32, bu *float32, u, x int32, label float32, gamma float32, srcGrad []float32, cfg Config) float64 {
+	tx := store.TargetVec(x)
+	z := vecmath.Dot(su, tx)
+	if !cfg.DisableBiases {
+		z += *bu + *store.BiasTarget(x)
+	}
+	sig := vecmath.FastSigmoid(z)
+	g := (label - sig) * gamma
+
+	vecmath.Axpy(g, tx, srcGrad) // ∂/∂S_u accumulates (label-σ)·T_x
+	vecmath.Axpy(g, su, tx)      // ∂/∂T_x = (label-σ)·S_u
+	if !cfg.DisableBiases {
+		*bu += g
+		*store.BiasTarget(x) += g
+	}
+	if label == 1 {
+		return vecmath.LogSigmoid(float64(z))
+	}
+	return vecmath.LogSigmoid(-float64(z))
+}

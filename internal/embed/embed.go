@@ -1,0 +1,170 @@
+// Package embed implements the embedding parameter store shared by the
+// latent representation models in this repository.
+//
+// A Store holds, for each user u of a fixed universe, the paper's four
+// parameter groups (Definition 2): a source embedding S_u (the capability to
+// influence others), a target embedding T_u (the tendency to be influenced),
+// an influence-ability bias b_u, and a conformity bias b̃_u. The pair score
+//
+//	x(u,v) = S_u · T_v + b_u + b̃_v
+//
+// is the building block of both training (Eq. 3/4) and prediction (Eq. 7).
+//
+// Vectors are exposed as mutable sub-slices of two flat float32 arrays so
+// that SGD updates touch contiguous memory. Concurrent updates of different
+// rows are safe; concurrent updates of the same row follow the hogwild
+// convention (benign races, accepted by design and documented at the
+// trainer).
+package embed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"inf2vec/internal/rng"
+	"inf2vec/internal/vecmath"
+)
+
+// Store holds the per-user parameters of one embedding model.
+type Store struct {
+	n int32
+	k int
+
+	source []float32 // n rows of k: S_u
+	target []float32 // n rows of k: T_u
+	biasS  []float32 // b_u, influence-ability bias
+	biasT  []float32 // b̃_u, conformity bias
+}
+
+// New allocates a zeroed store for n users with dimension k.
+func New(n int32, k int) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("embed: user universe %d must be positive", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("embed: dimension %d must be positive", k)
+	}
+	return &Store{
+		n:      n,
+		k:      k,
+		source: make([]float32, int(n)*k),
+		target: make([]float32, int(n)*k),
+		biasS:  make([]float32, n),
+		biasT:  make([]float32, n),
+	}, nil
+}
+
+// NumUsers returns the user universe size.
+func (s *Store) NumUsers() int32 { return s.n }
+
+// Dim returns the embedding dimension K.
+func (s *Store) Dim() int { return s.k }
+
+// Init draws every embedding coordinate from U[-1/K, 1/K] and zeroes both
+// biases, matching Algorithm 2 line 1.
+func (s *Store) Init(r *rng.RNG) {
+	scale := 1 / float32(s.k)
+	for i := range s.source {
+		s.source[i] = (2*r.Float32() - 1) * scale
+	}
+	for i := range s.target {
+		s.target[i] = (2*r.Float32() - 1) * scale
+	}
+	for i := range s.biasS {
+		s.biasS[i] = 0
+		s.biasT[i] = 0
+	}
+}
+
+// SourceVec returns the mutable source embedding row S_u.
+func (s *Store) SourceVec(u int32) []float32 {
+	off := int(u) * s.k
+	return s.source[off : off+s.k : off+s.k]
+}
+
+// TargetVec returns the mutable target embedding row T_u.
+func (s *Store) TargetVec(u int32) []float32 {
+	off := int(u) * s.k
+	return s.target[off : off+s.k : off+s.k]
+}
+
+// BiasSource returns a pointer to the influence-ability bias b_u.
+func (s *Store) BiasSource(u int32) *float32 { return &s.biasS[u] }
+
+// BiasTarget returns a pointer to the conformity bias b̃_u.
+func (s *Store) BiasTarget(u int32) *float32 { return &s.biasT[u] }
+
+// Score returns x(u,v) = S_u · T_v + b_u + b̃_v.
+func (s *Store) Score(u, v int32) float64 {
+	return float64(vecmath.Dot(s.SourceVec(u), s.TargetVec(v))) +
+		float64(s.biasS[u]) + float64(s.biasT[v])
+}
+
+// Concat returns the 2K-dimensional concatenation [S_u ; T_u] used for
+// visualization (§V-B3) as a fresh slice.
+func (s *Store) Concat(u int32) []float32 {
+	out := make([]float32, 2*s.k)
+	copy(out, s.SourceVec(u))
+	copy(out[s.k:], s.TargetVec(u))
+	return out
+}
+
+// Binary persistence. The format is versioned and endianness-fixed:
+//
+//	magic "I2VEMB\x01\x00" | int32 n | int32 k | source | target | biasS | biasT
+//
+// with all floats little-endian float32.
+var storeMagic = [8]byte{'I', '2', 'V', 'E', 'M', 'B', 1, 0}
+
+// ErrBadFormat is returned by Load when the input is not a store written by
+// Save (wrong magic, bad header, or truncated body).
+var ErrBadFormat = errors.New("embed: not a valid embedding store file")
+
+// Save writes the store to w in the package binary format.
+func (s *Store) Save(w io.Writer) error {
+	if _, err := w.Write(storeMagic[:]); err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	hdr := [2]int32{s.n, int32(s.k)}
+	if err := binary.Write(w, binary.LittleEndian, hdr[:]); err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
+		if err := binary.Write(w, binary.LittleEndian, block); err != nil {
+			return fmt.Errorf("embed: save: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a store written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	var hdr [2]int32
+	if err := binary.Read(r, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	// Guard against corrupt headers demanding absurd allocations before
+	// touching the allocator (2^31 float32 coordinates = 8 GiB).
+	if hdr[0] > 0 && hdr[1] > 0 && int64(hdr[0])*int64(hdr[1]) > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible shape %d x %d", ErrBadFormat, hdr[0], hdr[1])
+	}
+	s, err := New(hdr[0], int(hdr[1]))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
+		if err := binary.Read(r, binary.LittleEndian, block); err != nil {
+			return nil, fmt.Errorf("%w: reading body: %v", ErrBadFormat, err)
+		}
+	}
+	return s, nil
+}

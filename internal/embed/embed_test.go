@@ -1,0 +1,195 @@
+package embed
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"inf2vec/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(-1, 5); err == nil {
+		t.Error("n=-1 accepted")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestInitRange(t *testing.T) {
+	s, err := New(100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(1))
+	bound := float32(1.0 / 20)
+	var nonzero int
+	for u := int32(0); u < 100; u++ {
+		for _, v := range s.SourceVec(u) {
+			if v < -bound || v > bound {
+				t.Fatalf("source coord %v outside [-1/K, 1/K]", v)
+			}
+			if v != 0 {
+				nonzero++
+			}
+		}
+		for _, v := range s.TargetVec(u) {
+			if v < -bound || v > bound {
+				t.Fatalf("target coord %v outside [-1/K, 1/K]", v)
+			}
+		}
+		if *s.BiasSource(u) != 0 || *s.BiasTarget(u) != 0 {
+			t.Fatal("biases not zero after Init")
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("Init produced an all-zero store")
+	}
+}
+
+func TestScore(t *testing.T) {
+	s, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s.SourceVec(0), []float32{1, 2})
+	copy(s.TargetVec(1), []float32{3, 4})
+	*s.BiasSource(0) = 0.5
+	*s.BiasTarget(1) = 0.25
+	got := s.Score(0, 1)
+	want := 1.0*3 + 2*4 + 0.5 + 0.25
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestVectorRowsAreViews(t *testing.T) {
+	s, err := New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SourceVec(1)[2] = 42
+	if s.SourceVec(1)[2] != 42 {
+		t.Fatal("SourceVec is not a live view")
+	}
+	if s.SourceVec(0)[2] == 42 {
+		t.Fatal("rows alias each other")
+	}
+	// Rows must be capacity-clipped: appending must not bleed into the next row.
+	row := s.SourceVec(0)
+	row = append(row, 99)
+	if s.SourceVec(1)[0] == 99 {
+		t.Fatal("append to row 0 overwrote row 1")
+	}
+	_ = row
+}
+
+func TestConcat(t *testing.T) {
+	s, err := New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(s.SourceVec(0), []float32{1, 2})
+	copy(s.TargetVec(0), []float32{3, 4})
+	got := s.Concat(0)
+	want := []float32{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Concat = %v, want %v", got, want)
+		}
+	}
+	// Must be a copy.
+	got[0] = 77
+	if s.SourceVec(0)[0] == 77 {
+		t.Fatal("Concat shares storage with the store")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := New(17, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(5))
+	*s.BiasSource(3) = 1.5
+	*s.BiasTarget(16) = -2.25
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumUsers() != 17 || s2.Dim() != 9 {
+		t.Fatalf("loaded shape %d/%d", s2.NumUsers(), s2.Dim())
+	}
+	for u := int32(0); u < 17; u++ {
+		a, b := s.SourceVec(u), s2.SourceVec(u)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("source row %d differs after round trip", u)
+			}
+		}
+		if *s.BiasSource(u) != *s2.BiasSource(u) || *s.BiasTarget(u) != *s2.BiasTarget(u) {
+			t.Fatalf("bias %d differs after round trip", u)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC________________"),
+	}
+	for _, in := range cases {
+		if _, err := Load(bytes.NewReader(in)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("Load(%q): err = %v, want ErrBadFormat", in, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	s, err := New(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(9))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, 12, 20, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("truncated at %d: err = %v, want ErrBadFormat", cut, err)
+		}
+	}
+}
+
+func TestLoadRejectsBadHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'I', '2', 'V', 'E', 'M', 'B', 1, 0})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 4, 0, 0, 0}) // n = -1
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("negative n header: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadRejectsImplausibleShape(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'I', '2', 'V', 'E', 'M', 'B', 1, 0})
+	// n = 2^30, k = 2^10: 2^40 coordinates, must be rejected before
+	// allocation.
+	buf.Write([]byte{0, 0, 0, 0x40, 0, 4, 0, 0})
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("implausible shape: err = %v, want ErrBadFormat", err)
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import "fmt"
+
+// Aggregator is the F() of Eq. 7: it merges the pair scores x(u,v) from the
+// set of possibly-influencing users S_v into one activation likelihood.
+// Scores arrive in activation-time order, which is what makes Latest
+// well-defined.
+type Aggregator int
+
+// The four aggregation functions evaluated in Table V.
+const (
+	Ave    Aggregator = iota // arithmetic mean (the paper's default)
+	Sum                      // linear combination
+	Max                      // most significant influencer
+	Latest                   // most recently activated influencer
+)
+
+// String names the aggregator as in Table V.
+func (a Aggregator) String() string {
+	switch a {
+	case Ave:
+		return "Ave"
+	case Sum:
+		return "Sum"
+	case Max:
+		return "Max"
+	case Latest:
+		return "Latest"
+	default:
+		return fmt.Sprintf("Aggregator(%d)", int(a))
+	}
+}
+
+// Aggregate applies the function to time-ordered scores. It panics on an
+// empty slice: callers only score candidates that have at least one active
+// neighbor.
+func (a Aggregator) Aggregate(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("eval: Aggregate over empty score set")
+	}
+	switch a {
+	case Ave:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	case Sum:
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	case Max:
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	case Latest:
+		return xs[len(xs)-1]
+	default:
+		panic(fmt.Sprintf("eval: unknown aggregator %d", int(a)))
+	}
+}
+
+// Aggregators lists all four functions in Table V order.
+func Aggregators() []Aggregator { return []Aggregator{Ave, Sum, Max, Latest} }

@@ -1,0 +1,181 @@
+// Package eval implements the paper's evaluation pipeline: the AUC / MAP /
+// P@N metrics (§V-B), the four score aggregation functions of Eq. 7, and the
+// two prediction tasks — activation prediction (the Goyal et al. replay
+// protocol) and diffusion prediction (the Bourigault et al. seed-set
+// protocol) — runnable uniformly over IC-based and latent-representation
+// methods.
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScoredCandidate is one ranked prediction: a candidate with its model
+// score and ground-truth label.
+type ScoredCandidate struct {
+	User  int32
+	Score float64
+	Label bool
+}
+
+// AUC computes the area under the ROC curve by the Mann-Whitney ranking
+// statistic, with tied scores receiving average ranks (the "ranking scheme"
+// of [32] the paper adopts instead of thresholding). It returns ok=false
+// when the candidates are single-class, in which case AUC is undefined.
+func AUC(cands []ScoredCandidate) (auc float64, ok bool) {
+	pos, neg := 0, 0
+	for _, c := range cands {
+		if c.Label {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, false
+	}
+	sorted := append([]ScoredCandidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Score < sorted[j].Score })
+
+	var rankSum float64 // sum of average ranks of positives (1-indexed)
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].Score == sorted[i].Score {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // average of ranks i+1 .. j
+		for t := i; t < j; t++ {
+			if sorted[t].Label {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	auc = (rankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+	return auc, true
+}
+
+// rankDescending returns the candidates in descending score order with ties
+// broken by user ID for determinism.
+func rankDescending(cands []ScoredCandidate) []ScoredCandidate {
+	sorted := append([]ScoredCandidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].User < sorted[j].User
+	})
+	return sorted
+}
+
+// AveragePrecision computes AP over the ranked candidates: the mean, over
+// positive positions, of precision at that position. Returns ok=false when
+// no positives exist.
+func AveragePrecision(cands []ScoredCandidate) (ap float64, ok bool) {
+	sorted := rankDescending(cands)
+	hits := 0
+	var sum float64
+	for i, c := range sorted {
+		if c.Label {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	if hits == 0 {
+		return 0, false
+	}
+	return sum / float64(hits), true
+}
+
+// PrecisionAt computes P@N over the ranked candidates: the fraction of the
+// top-min(N, len) predictions that are positive. Returns ok=false for an
+// empty candidate set or non-positive N.
+func PrecisionAt(cands []ScoredCandidate, n int) (p float64, ok bool) {
+	if n <= 0 || len(cands) == 0 {
+		return 0, false
+	}
+	sorted := rankDescending(cands)
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	hits := 0
+	for _, c := range sorted[:n] {
+		if c.Label {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n), true
+}
+
+// Metrics is the paper's five-column result row, averaged over test
+// episodes.
+type Metrics struct {
+	AUC  float64
+	MAP  float64
+	P10  float64
+	P50  float64
+	P100 float64
+	// Episodes counts the test episodes that contributed to the averages.
+	Episodes int
+}
+
+// String renders the row in the format of Tables II/III.
+func (m Metrics) String() string {
+	return fmt.Sprintf("AUC=%.4f MAP=%.4f P@10=%.4f P@50=%.4f P@100=%.4f (n=%d)",
+		m.AUC, m.MAP, m.P10, m.P50, m.P100, m.Episodes)
+}
+
+// metricAccumulator averages per-episode metrics, tracking each metric's
+// own denominator because some episodes define AUC but not AP or vice
+// versa.
+type metricAccumulator struct {
+	auc, ap, p10, p50, p100   float64
+	nAUC, nAP, n10, n50, n100 int
+	episodes                  int
+}
+
+func (a *metricAccumulator) add(cands []ScoredCandidate) {
+	if len(cands) == 0 {
+		return
+	}
+	a.episodes++
+	if v, ok := AUC(cands); ok {
+		a.auc += v
+		a.nAUC++
+	}
+	if v, ok := AveragePrecision(cands); ok {
+		a.ap += v
+		a.nAP++
+	}
+	if v, ok := PrecisionAt(cands, 10); ok {
+		a.p10 += v
+		a.n10++
+	}
+	if v, ok := PrecisionAt(cands, 50); ok {
+		a.p50 += v
+		a.n50++
+	}
+	if v, ok := PrecisionAt(cands, 100); ok {
+		a.p100 += v
+		a.n100++
+	}
+}
+
+func (a *metricAccumulator) metrics() Metrics {
+	div := func(sum float64, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	return Metrics{
+		AUC:      div(a.auc, a.nAUC),
+		MAP:      div(a.ap, a.nAP),
+		P10:      div(a.p10, a.n10),
+		P50:      div(a.p50, a.n50),
+		P100:     div(a.p100, a.n100),
+		Episodes: a.episodes,
+	}
+}

@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"inf2vec/internal/rng"
+)
+
+func sc(scores []float64, labels []bool) []ScoredCandidate {
+	out := make([]ScoredCandidate, len(scores))
+	for i := range scores {
+		out[i] = ScoredCandidate{User: int32(i), Score: scores[i], Label: labels[i]}
+	}
+	return out
+}
+
+func TestAUCPerfect(t *testing.T) {
+	cands := sc([]float64{0.9, 0.8, 0.2, 0.1}, []bool{true, true, false, false})
+	auc, ok := AUC(cands)
+	if !ok || auc != 1 {
+		t.Fatalf("AUC = %v ok=%v, want 1", auc, ok)
+	}
+}
+
+func TestAUCInverted(t *testing.T) {
+	cands := sc([]float64{0.1, 0.9}, []bool{true, false})
+	auc, ok := AUC(cands)
+	if !ok || auc != 0 {
+		t.Fatalf("AUC = %v ok=%v, want 0", auc, ok)
+	}
+}
+
+func TestAUCTiesGetHalfCredit(t *testing.T) {
+	cands := sc([]float64{0.5, 0.5}, []bool{true, false})
+	auc, ok := AUC(cands)
+	if !ok || math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// Positives at scores 3 and 1; negatives at 2 and 0.
+	// Pairs won: (3>2),(3>0),(1>0) = 3 of 4 -> AUC 0.75.
+	cands := sc([]float64{3, 2, 1, 0}, []bool{true, false, true, false})
+	auc, ok := AUC(cands)
+	if !ok || math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestAUCSingleClass(t *testing.T) {
+	if _, ok := AUC(sc([]float64{1, 2}, []bool{true, true})); ok {
+		t.Fatal("all-positive AUC reported ok")
+	}
+	if _, ok := AUC(sc([]float64{1, 2}, []bool{false, false})); ok {
+		t.Fatal("all-negative AUC reported ok")
+	}
+	if _, ok := AUC(nil); ok {
+		t.Fatal("empty AUC reported ok")
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone score transform
+// and complements under label flip when scores are distinct.
+func TestAUCProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		cands := make([]ScoredCandidate, n)
+		hasPos, hasNeg := false, false
+		for i := range cands {
+			cands[i] = ScoredCandidate{
+				User:  int32(i),
+				Score: float64(i) + r.Float64()*0.5, // distinct scores
+				Label: r.Bernoulli(0.5),
+			}
+			if cands[i].Label {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		base, ok := AUC(cands)
+		if !ok {
+			return false
+		}
+		// Monotone transform: exp(score/10).
+		trans := append([]ScoredCandidate(nil), cands...)
+		for i := range trans {
+			trans[i].Score = math.Exp(trans[i].Score / 10)
+		}
+		tAUC, ok := AUC(trans)
+		if !ok || math.Abs(tAUC-base) > 1e-9 {
+			return false
+		}
+		// Label flip.
+		flip := append([]ScoredCandidate(nil), cands...)
+		for i := range flip {
+			flip[i].Label = !flip[i].Label
+		}
+		fAUC, ok := AUC(flip)
+		return ok && math.Abs(fAUC-(1-base)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Ranked: pos, neg, pos -> AP = (1/1 + 2/3)/2 = 5/6.
+	cands := sc([]float64{3, 2, 1}, []bool{true, false, true})
+	ap, ok := AveragePrecision(cands)
+	if !ok || math.Abs(ap-5.0/6) > 1e-12 {
+		t.Fatalf("AP = %v, want 5/6", ap)
+	}
+}
+
+func TestAveragePrecisionNoPositives(t *testing.T) {
+	if _, ok := AveragePrecision(sc([]float64{1}, []bool{false})); ok {
+		t.Fatal("no-positive AP reported ok")
+	}
+}
+
+func TestAveragePrecisionPerfect(t *testing.T) {
+	cands := sc([]float64{5, 4, 3, 2}, []bool{true, true, false, false})
+	ap, ok := AveragePrecision(cands)
+	if !ok || ap != 1 {
+		t.Fatalf("perfect AP = %v, want 1", ap)
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	cands := sc([]float64{4, 3, 2, 1}, []bool{true, false, true, false})
+	p, ok := PrecisionAt(cands, 2)
+	if !ok || p != 0.5 {
+		t.Fatalf("P@2 = %v, want 0.5", p)
+	}
+	// N larger than the candidate set: denominator shrinks to len.
+	p, ok = PrecisionAt(cands, 100)
+	if !ok || p != 0.5 {
+		t.Fatalf("P@100 over 4 candidates = %v, want 0.5", p)
+	}
+	if _, ok := PrecisionAt(nil, 10); ok {
+		t.Fatal("empty P@N reported ok")
+	}
+	if _, ok := PrecisionAt(cands, 0); ok {
+		t.Fatal("P@0 reported ok")
+	}
+}
+
+func TestRankDescendingTieBreak(t *testing.T) {
+	cands := []ScoredCandidate{
+		{User: 5, Score: 1}, {User: 2, Score: 1}, {User: 9, Score: 2},
+	}
+	sorted := rankDescending(cands)
+	if sorted[0].User != 9 || sorted[1].User != 2 || sorted[2].User != 5 {
+		t.Fatalf("tie break order = %v", sorted)
+	}
+}
+
+func TestMetricAccumulator(t *testing.T) {
+	var acc metricAccumulator
+	acc.add(sc([]float64{2, 1}, []bool{true, false})) // AUC 1, AP 1
+	acc.add(sc([]float64{1, 2}, []bool{true, false})) // AUC 0, AP 0.5
+	acc.add(nil)                                      // ignored
+	acc.add(sc([]float64{1}, []bool{false}))          // counts for episodes, no AUC/AP
+	m := acc.metrics()
+	if m.Episodes != 3 {
+		t.Fatalf("Episodes = %d, want 3", m.Episodes)
+	}
+	if math.Abs(m.AUC-0.5) > 1e-12 {
+		t.Fatalf("mean AUC = %v, want 0.5", m.AUC)
+	}
+	if math.Abs(m.MAP-0.75) > 1e-12 {
+		t.Fatalf("MAP = %v, want 0.75", m.MAP)
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	xs := []float64{1, 3, 2}
+	cases := []struct {
+		agg  Aggregator
+		want float64
+	}{
+		{Ave, 2}, {Sum, 6}, {Max, 3}, {Latest, 2},
+	}
+	for _, c := range cases {
+		if got := c.agg.Aggregate(xs); got != c.want {
+			t.Errorf("%v.Aggregate = %v, want %v", c.agg, got, c.want)
+		}
+	}
+}
+
+func TestAggregatorNames(t *testing.T) {
+	want := []string{"Ave", "Sum", "Max", "Latest"}
+	for i, a := range Aggregators() {
+		if a.String() != want[i] {
+			t.Errorf("Aggregators()[%d] = %v, want %v", i, a, want[i])
+		}
+	}
+	if Aggregator(99).String() != "Aggregator(99)" {
+		t.Error("unknown aggregator String")
+	}
+}
+
+func TestAggregateEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Aggregate(nil) did not panic")
+		}
+	}()
+	Ave.Aggregate(nil)
+}

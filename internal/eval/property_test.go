@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+)
+
+// randomWorld builds a random graph and log for property tests.
+func randomWorld(r *rng.RNG) (*graph.Graph, *actionlog.Log, error) {
+	n := int32(3 + r.Intn(20))
+	b := graph.NewBuilder(n)
+	for i := 0; i < r.Intn(80); i++ {
+		if err := b.AddEdge(r.Int31n(n), r.Int31n(n)); err != nil {
+			return nil, nil, err
+		}
+	}
+	g := b.Build()
+	var actions []actionlog.Action
+	for it := int32(0); it < 4; it++ {
+		for u := int32(0); u < n; u++ {
+			if r.Bernoulli(0.4) {
+				actions = append(actions, actionlog.Action{User: u, Item: it, Time: r.Float64()})
+			}
+		}
+	}
+	l, err := actionlog.FromActions(n, actions)
+	return g, l, err
+}
+
+// Property: activation-prediction metrics are always within their valid
+// ranges, whatever the graph, log and (arbitrary, even adversarial) scorer.
+func TestActivationMetricsInRange(t *testing.T) {
+	f := func(seed uint64, scoreSeed int64) bool {
+		r := rng.New(seed)
+		g, l, err := randomWorld(r)
+		if err != nil {
+			return false
+		}
+		sr := rng.New(uint64(scoreSeed))
+		scorer := func(active []int32, v int32) float64 { return sr.Float64()*2 - 1 }
+		m, err := ActivationPrediction(g, l, scorer)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{m.AUC, m.MAP, m.P10, m.P50, m.P100} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return m.Episodes >= 0 && m.Episodes <= l.NumEpisodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a scorer that perfectly encodes the ground truth achieves
+// MAP = AUC = 1 on every episode that has both classes — the evaluation
+// machinery never caps a perfect model below 1.
+func TestPerfectScorerIsPerfect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, l, err := randomWorld(r)
+		if err != nil {
+			return false
+		}
+		ok := true
+		l.Episodes(func(e *actionlog.Episode) {
+			members := map[int32]bool{}
+			for _, rec := range e.Records {
+				members[rec.User] = true
+			}
+			scorer := func(active []int32, v int32) float64 {
+				if members[v] {
+					return 1
+				}
+				return 0
+			}
+			cands := activationCandidates(g, e, scorer)
+			if auc, defined := AUC(cands); defined && auc != 1 {
+				ok = false
+			}
+			if ap, defined := AveragePrecision(cands); defined && ap != 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: diffusion prediction partitions the universe — candidates are
+// exactly the non-seeds, and metrics stay in range under a random scorer.
+func TestDiffusionMetricsInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g, l, err := randomWorld(r)
+		if err != nil {
+			return false
+		}
+		sr := rng.New(seed ^ 0xabcdef)
+		score := func(seeds []int32) ([]float64, error) {
+			out := make([]float64, l.NumUsers())
+			for i := range out {
+				out[i] = sr.Float64()
+			}
+			return out, nil
+		}
+		m, err := DiffusionPrediction(g, l, score, 0.05)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{m.AUC, m.MAP, m.P10, m.P50, m.P100} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+)
+
+// tableScorer is a PairScorer backed by an explicit score table.
+type tableScorer map[[2]int32]float64
+
+func (t tableScorer) Score(u, v int32) float64 { return t[[2]int32{u, v}] }
+
+// constEdgeProber returns p for real edges.
+type constEdgeProber struct {
+	g *graph.Graph
+	p float64
+}
+
+func (c constEdgeProber) Prob(u, v int32) float64 {
+	if c.g.HasEdge(u, v) {
+		return c.p
+	}
+	return 0
+}
+
+// activationFixture: graph 0->1, 0->2; one episode where 0 adopts, then 1.
+// Candidates: 1 (positive, active={0}) and 2 (negative, active={0}).
+func activationFixture(t *testing.T) (*graph.Graph, *actionlog.Log) {
+	t.Helper()
+	g, err := graph.FromEdges(3, [][2]int32{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l
+}
+
+func TestActivationPredictionPerfectScorer(t *testing.T) {
+	g, l := activationFixture(t)
+	scorer := LatentActivationScorer(tableScorer{{0, 1}: 5, {0, 2}: 1}, Ave)
+	m, err := ActivationPrediction(g, l, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Episodes != 1 {
+		t.Fatalf("Episodes = %d, want 1", m.Episodes)
+	}
+	if m.AUC != 1 || m.MAP != 1 {
+		t.Fatalf("perfect scorer metrics = %+v", m)
+	}
+}
+
+func TestActivationPredictionInvertedScorer(t *testing.T) {
+	g, l := activationFixture(t)
+	scorer := LatentActivationScorer(tableScorer{{0, 1}: 1, {0, 2}: 5}, Ave)
+	m, err := ActivationPrediction(g, l, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC != 0 {
+		t.Fatalf("inverted scorer AUC = %v, want 0", m.AUC)
+	}
+}
+
+func TestActivationPredictionExcludesUninfluencedAdopters(t *testing.T) {
+	// 1->0: user 0 adopts first (no prior active friend) so 0 must not be a
+	// candidate; user 1's adoption makes 0's out-neighbors candidates, but 0
+	// has none. Candidate set: only 1's out-neighbor 2... none here either.
+	g, err := graph.FromEdges(3, [][2]int32{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := l.Episode(0)
+	cands := activationCandidates(g, e, func(active []int32, v int32) float64 { return 0 })
+	if len(cands) != 0 {
+		t.Fatalf("candidates = %v, want none (0 adopted before its friend)", cands)
+	}
+}
+
+func TestActivationPredictionScoresFromAllAdopterFriends(t *testing.T) {
+	// Friends 0 and 2 of target 1; 0 adopts before 1, 2 adopts after. User 1
+	// is a positive (friend 0 preceded it) and — to keep |S_v| symmetric
+	// between positives and negatives — is scored from both adopter friends,
+	// in activation order.
+	g, err := graph.FromEdges(3, [][2]int32{{0, 1}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 2},
+		{User: 2, Item: 0, Time: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int32
+	scorer := func(active []int32, v int32) float64 {
+		if v == 1 {
+			got = append([]int32(nil), active...)
+		}
+		return 0
+	}
+	cands := activationCandidates(g, l.Episode(0), scorer)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("active set for positive = %v, want [0 2]", got)
+	}
+	foundPositive := false
+	for _, c := range cands {
+		if c.User == 1 && c.Label {
+			foundPositive = true
+		}
+	}
+	if !foundPositive {
+		t.Fatal("user 1 not labeled positive")
+	}
+}
+
+func TestActivationPredictionICScorer(t *testing.T) {
+	g, l := activationFixture(t)
+	scorer := ICActivationScorer(constEdgeProber{g, 0.5})
+	m, err := ActivationPrediction(g, l, scorer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both candidates score 0.5: AUC degenerates to 0.5 via tie handling.
+	if math.Abs(m.AUC-0.5) > 1e-12 {
+		t.Fatalf("tied IC AUC = %v, want 0.5", m.AUC)
+	}
+}
+
+func TestActivationPredictionUniverseMismatch(t *testing.T) {
+	g, err := graph.FromEdges(2, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(9, []actionlog.Action{{User: 8, Item: 0, Time: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ActivationPrediction(g, l, func([]int32, int32) float64 { return 0 }); err == nil {
+		t.Fatal("universe mismatch accepted")
+	}
+}
+
+func TestDiffusionPredictionLatent(t *testing.T) {
+	// Universe of 5; episode adopters in order: 0 (seed), then 1, 2.
+	g, err := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(5, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 2},
+		{User: 2, Item: 0, Time: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := tableScorer{{0, 1}: 9, {0, 2}: 8, {0, 3}: 1, {0, 4}: 0}
+	m, err := DiffusionPrediction(g, l, LatentDiffusionScorer(scores, Ave, 5), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds = first adopter (5% of 3 -> min 1). Positives 1,2 outrank 3,4.
+	if m.AUC != 1 || m.MAP != 1 {
+		t.Fatalf("metrics = %+v, want perfect", m)
+	}
+	if m.Episodes != 1 {
+		t.Fatalf("Episodes = %d, want 1", m.Episodes)
+	}
+}
+
+func TestDiffusionPredictionSkipsTinyEpisodes(t *testing.T) {
+	g, err := graph.FromEdges(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, []actionlog.Action{{User: 0, Item: 0, Time: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DiffusionPrediction(g, l, LatentDiffusionScorer(tableScorer{}, Ave, 3), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Episodes != 0 {
+		t.Fatalf("Episodes = %d, want 0 (singleton skipped)", m.Episodes)
+	}
+}
+
+func TestDiffusionPredictionMonteCarlo(t *testing.T) {
+	// Chain 0->1->2 with p=1: MC gives 1 and 2 probability 1, others 0.
+	g, err := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(4, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1},
+		{User: 1, Item: 0, Time: 2},
+		{User: 2, Item: 0, Time: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := MonteCarloDiffusionScorer(g, constEdgeProber{g, 1}, 50, 1)
+	m, err := DiffusionPrediction(g, l, score, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AUC != 1 {
+		t.Fatalf("deterministic cascade AUC = %v, want 1", m.AUC)
+	}
+}
+
+func TestDiffusionPredictionValidation(t *testing.T) {
+	g, l := activationFixture(t)
+	score := LatentDiffusionScorer(tableScorer{}, Ave, 3)
+	if _, err := DiffusionPrediction(g, l, score, 0); err == nil {
+		t.Error("seedFrac 0 accepted")
+	}
+	if _, err := DiffusionPrediction(g, l, score, 1); err == nil {
+		t.Error("seedFrac 1 accepted")
+	}
+	short := func(seeds []int32) ([]float64, error) { return []float64{1}, nil }
+	if _, err := DiffusionPrediction(g, l, short, 0.05); err == nil {
+		t.Error("short score vector accepted")
+	}
+}
+
+func TestPriorActiveFriendCounts(t *testing.T) {
+	g, err := graph.FromEdges(3, [][2]int32{{0, 1}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, []actionlog.Action{
+		{User: 0, Item: 0, Time: 1}, // 0 prior friends
+		{User: 2, Item: 0, Time: 2}, // 0 prior friends
+		{User: 1, Item: 0, Time: 3}, // friends 0 and 2 both active: 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := PriorActiveFriendCounts(g, l)
+	want := []int{0, 0, 2}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"inf2vec/internal/citation"
+)
+
+// renderGrid writes an aligned ASCII table.
+func renderGrid(w io.Writer, title string, headers []string, rows [][]string) error {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell + strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(headers)
+	total := len(headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	sb.WriteString("\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderTableI writes Table I.
+func RenderTableI(w io.Writer, rows []TableIRow) error {
+	var grid [][]string
+	for _, r := range rows {
+		grid = append(grid, []string{
+			r.Dataset,
+			fmt.Sprintf("%d", r.Users),
+			fmt.Sprintf("%d", r.Edges),
+			fmt.Sprintf("%d", r.Items),
+			fmt.Sprintf("%d", r.Actions),
+		})
+	}
+	return renderGrid(w, "Table I: dataset statistics",
+		[]string{"Dataset", "#User", "#Edge", "#Item", "#Action"}, grid)
+}
+
+// RenderMethodTable writes a Table II/III style grid.
+func RenderMethodTable(w io.Writer, title string, results []DatasetResults) error {
+	headers := []string{"Dataset", "Method", "AUC", "MAP", "P@10", "P@50", "P@100"}
+	var grid [][]string
+	for _, dr := range results {
+		for _, row := range dr.Rows {
+			grid = append(grid, []string{
+				dr.Dataset, row.Method,
+				fmt.Sprintf("%.4f", row.Metrics.AUC),
+				fmt.Sprintf("%.4f", row.Metrics.MAP),
+				fmt.Sprintf("%.4f", row.Metrics.P10),
+				fmt.Sprintf("%.4f", row.Metrics.P50),
+				fmt.Sprintf("%.4f", row.Metrics.P100),
+			})
+			if row.Runs > 1 {
+				grid = append(grid, []string{
+					"", fmt.Sprintf("(stdev over %d runs)", row.Runs),
+					fmt.Sprintf("(%.4f)", row.StdDev.AUC),
+					fmt.Sprintf("(%.4f)", row.StdDev.MAP),
+					fmt.Sprintf("(%.4f)", row.StdDev.P10),
+					fmt.Sprintf("(%.4f)", row.StdDev.P50),
+					fmt.Sprintf("(%.4f)", row.StdDev.P100),
+				})
+			}
+		}
+	}
+	return renderGrid(w, title, headers, grid)
+}
+
+// RenderTableIV writes the Inf2vec-L ablation table.
+func RenderTableIV(w io.Writer, rows []TableIVRow) error {
+	headers := []string{"Task", "Dataset", "AUC", "MAP", "P@10", "P@50", "P@100"}
+	var grid [][]string
+	for _, r := range rows {
+		grid = append(grid, []string{
+			r.Task, r.Dataset,
+			fmt.Sprintf("%.4f", r.Metrics.AUC),
+			fmt.Sprintf("%.4f", r.Metrics.MAP),
+			fmt.Sprintf("%.4f", r.Metrics.P10),
+			fmt.Sprintf("%.4f", r.Metrics.P50),
+			fmt.Sprintf("%.4f", r.Metrics.P100),
+		})
+	}
+	return renderGrid(w, "Table IV: Inf2vec-L (alpha=1, local context only)", headers, grid)
+}
+
+// RenderTableV writes the aggregation-function comparison.
+func RenderTableV(w io.Writer, rows []TableVRow) error {
+	headers := []string{"Dataset", "F()", "AUC", "MAP", "P@10", "P@50", "P@100"}
+	var grid [][]string
+	for _, r := range rows {
+		grid = append(grid, []string{
+			r.Dataset, r.Aggregator.String(),
+			fmt.Sprintf("%.4f", r.Metrics.AUC),
+			fmt.Sprintf("%.4f", r.Metrics.MAP),
+			fmt.Sprintf("%.4f", r.Metrics.P10),
+			fmt.Sprintf("%.4f", r.Metrics.P50),
+			fmt.Sprintf("%.4f", r.Metrics.P100),
+		})
+	}
+	return renderGrid(w, "Table V: aggregation functions (activation prediction)", headers, grid)
+}
+
+// RenderTableVI writes the citation case study.
+func RenderTableVI(w io.Writer, res *citation.StudyResult) error {
+	if _, err := fmt.Fprintf(w,
+		"Table VI: citation case study (top-10 follower prediction)\n"+
+			"  test authors: %d\n  embedding model mean P@10:    %.4f\n  conventional model mean P@10: %.4f\n\n",
+		res.NumTestAuthors, res.EmbeddingPrecision, res.ConventionalPrecision); err != nil {
+		return err
+	}
+	for _, ex := range res.Examples {
+		headers := []string{"rank", "Embedding", "", "Conventional", ""}
+		var grid [][]string
+		n := len(ex.Embedding)
+		if len(ex.Conventional) > n {
+			n = len(ex.Conventional)
+		}
+		mark := func(p citation.Prediction) (string, string) {
+			sign := "-"
+			if p.Hit {
+				sign = "+"
+			}
+			return fmt.Sprintf("author-%d", p.Author), sign
+		}
+		for i := 0; i < n; i++ {
+			row := []string{fmt.Sprintf("%d", i+1), "", "", "", ""}
+			if i < len(ex.Embedding) {
+				row[1], row[2] = mark(ex.Embedding[i])
+			}
+			if i < len(ex.Conventional) {
+				row[3], row[4] = mark(ex.Conventional[i])
+			}
+			grid = append(grid, row)
+		}
+		title := fmt.Sprintf("author-%d (%d papers): embedding %d/%d, conventional %d/%d",
+			ex.Author, ex.PaperCount, ex.EmbeddingHits, len(ex.Embedding),
+			ex.ConventionalHit, len(ex.Conventional))
+		if err := renderGrid(w, title, headers, grid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFrequencyFigures writes Figures 1/2 as numeric series.
+func RenderFrequencyFigures(w io.Writer, title string, figs []FrequencyFigure) error {
+	for _, fig := range figs {
+		if _, err := fmt.Fprintf(w, "%s — %s: %d distinct frequencies, power-law alpha=%.2f, log-log slope=%.2f\n",
+			title, fig.Dataset, len(fig.Points), fig.Alpha, fig.LogLogSlope); err != nil {
+			return err
+		}
+		shown := fig.Points
+		if len(shown) > 12 {
+			shown = shown[:12]
+		}
+		for _, p := range shown {
+			if _, err := fmt.Fprintf(w, "  freq=%-6d users=%d\n", p.Value, p.Count); err != nil {
+				return err
+			}
+		}
+		if len(fig.Points) > 12 {
+			if _, err := fmt.Fprintf(w, "  ... (%d more)\n", len(fig.Points)-12); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderCDFFigures writes Figure 3.
+func RenderCDFFigures(w io.Writer, figs []CDFFigure) error {
+	for _, fig := range figs {
+		if _, err := fmt.Fprintf(w, "Figure 3 — %s: CDF of prior-active friend count\n", fig.Dataset); err != nil {
+			return err
+		}
+		for i, x := range fig.X {
+			if _, err := fmt.Fprintf(w, "  P(X<=%d) = %.3f\n", x, fig.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderVisualization writes Figure 6's proximity summary.
+func RenderVisualization(w io.Writer, figs []VisualizationResult) error {
+	headers := []string{"Method", "top-5 pair proximity (lower = closer pairs)"}
+	var grid [][]string
+	for _, fig := range figs {
+		grid = append(grid, []string{fig.Method, fmt.Sprintf("%.4f", fig.Proximity)})
+	}
+	return renderGrid(w, "Figure 6: t-SNE visualization, top-5 pair proximity ratio", headers, grid)
+}
+
+// RenderSweep writes Figures 7/8.
+func RenderSweep(w io.Writer, title, param string, figs []SweepFigure) error {
+	headers := []string{"Dataset", param, "MAP"}
+	var grid [][]string
+	for _, fig := range figs {
+		for _, p := range fig.Points {
+			grid = append(grid, []string{fig.Dataset, fmt.Sprintf("%d", p.Value), fmt.Sprintf("%.4f", p.MAP)})
+		}
+	}
+	return renderGrid(w, title, headers, grid)
+}
+
+// RenderTiming writes Figure 9.
+func RenderTiming(w io.Writer, figs []TimingFigure) error {
+	headers := []string{"Dataset", "Method", "K", "sec/iteration"}
+	var grid [][]string
+	for _, fig := range figs {
+		for _, p := range fig.Points {
+			grid = append(grid, []string{
+				fig.Dataset, fig.Method, fmt.Sprintf("%d", p.Dim), fmt.Sprintf("%.3f", p.Seconds),
+			})
+		}
+	}
+	return renderGrid(w, "Figure 9: per-iteration training time", headers, grid)
+}

@@ -1,0 +1,396 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (§V) on the synthetic digg-like and flickr-like
+// datasets. Each runner returns structured results that cmd/experiments and
+// the root bench harness render in the shape of the paper's tables.
+//
+// A Suite lazily generates and caches datasets, train/tune/test splits and
+// trained models so that, e.g., Table II and Table III share the same seven
+// trained methods.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/baseline/de"
+	"inf2vec/internal/baseline/em"
+	"inf2vec/internal/baseline/embic"
+	"inf2vec/internal/baseline/mf"
+	"inf2vec/internal/baseline/node2vec"
+	"inf2vec/internal/baseline/st"
+	"inf2vec/internal/core"
+	"inf2vec/internal/datagen"
+	"inf2vec/internal/eval"
+	"inf2vec/internal/ic"
+)
+
+// Options scale the whole suite. The zero value reproduces the paper at the
+// default synthetic scale.
+type Options struct {
+	// Seed drives dataset generation, splits, training and simulation.
+	Seed uint64
+	// Quick shrinks datasets and training budgets by roughly an order of
+	// magnitude — used by unit tests and smoke runs. Results keep their
+	// ordering but are noisier.
+	Quick bool
+	// MonteCarloRuns for IC-based diffusion scoring (paper: 5,000). Zero
+	// selects 300 (Quick: 50).
+	MonteCarloRuns int
+	// Inf2vecRuns is the number of independently seeded Inf2vec trainings
+	// used for the stddev rows of Tables II/III (paper: 10). Zero selects 3
+	// (Quick: 1).
+	Inf2vecRuns int
+	// Workers for hogwild training. Zero selects min(NumCPU, 8).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MonteCarloRuns == 0 {
+		if o.Quick {
+			o.MonteCarloRuns = 50
+		} else {
+			o.MonteCarloRuns = 300
+		}
+	}
+	if o.Inf2vecRuns == 0 {
+		if o.Quick {
+			o.Inf2vecRuns = 1
+		} else {
+			o.Inf2vecRuns = 3
+		}
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+		if o.Workers > 8 {
+			o.Workers = 8
+		}
+	}
+	return o
+}
+
+// DatasetNames lists the two evaluation datasets in paper order.
+func DatasetNames() []string { return []string{"digg-like", "flickr-like"} }
+
+// SplitDataset bundles a generated dataset with the paper's 80/10/10
+// episode split.
+type SplitDataset struct {
+	*datagen.Dataset
+	Train *actionlog.Log
+	Tune  *actionlog.Log
+	Test  *actionlog.Log
+}
+
+// Suite caches datasets and trained models across experiment runners.
+type Suite struct {
+	opts Options
+
+	mu       sync.Mutex
+	datasets map[string]*SplitDataset
+	models   map[string]*trainedModels
+}
+
+// NewSuite builds a Suite with the given options.
+func NewSuite(opts Options) *Suite {
+	return &Suite{
+		opts:     opts.withDefaults(),
+		datasets: make(map[string]*SplitDataset),
+		models:   make(map[string]*trainedModels),
+	}
+}
+
+// Options returns the resolved options.
+func (s *Suite) Options() Options { return s.opts }
+
+// datasetConfig returns the generation config for a named dataset at the
+// suite's scale.
+func (s *Suite) datasetConfig(name string) (datagen.Config, error) {
+	var cfg datagen.Config
+	switch name {
+	case "digg-like":
+		cfg = datagen.DiggLike(s.opts.Seed)
+	case "flickr-like":
+		cfg = datagen.FlickrLike(s.opts.Seed)
+	default:
+		return cfg, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	if s.opts.Quick {
+		cfg.NumUsers /= 4
+		cfg.NumItems /= 4
+	}
+	return cfg, nil
+}
+
+// Dataset returns the named dataset, generating and splitting it on first
+// use.
+func (s *Suite) Dataset(name string) (*SplitDataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ds, ok := s.datasets[name]; ok {
+		return ds, nil
+	}
+	cfg, err := s.datasetConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := datagen.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
+	}
+	train, tune, test, err := raw.Log.Split(s.opts.Seed+101, 0.8, 0.1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: splitting %s: %w", name, err)
+	}
+	ds := &SplitDataset{Dataset: raw, Train: train, Tune: tune, Test: test}
+	s.datasets[name] = ds
+	return ds, nil
+}
+
+// MethodNames lists the evaluated methods in the order of Tables II/III.
+func MethodNames() []string {
+	return []string{"DE", "ST", "EM", "Emb-IC", "MF", "Node2vec", "Inf2vec"}
+}
+
+// trainedModels caches one dataset's seven trained methods, along with the
+// hyperparameters selected on the tuning split.
+type trainedModels struct {
+	de    *de.Model
+	st    *ic.EdgeProbs
+	em    *ic.EdgeProbs
+	embIC *embic.Model
+	mf    *mf.Model
+	n2v   *node2vec.Model
+	inf   []*core.Model // Inf2vecRuns independently seeded models
+
+	// Tune-split selections: the paper fixes each method's free knobs "based
+	// on the empirical study on tuning set"; we do the same per dataset.
+	infAlpha float64
+	infAgg   eval.Aggregator
+	mfAgg    eval.Aggregator
+	n2vAgg   eval.Aggregator
+
+	infL     *core.Model // the α=1 ablation (Table IV), trained on demand
+	infLOnce sync.Once
+}
+
+// inf2vecConfig returns the suite's Inf2vec configuration (before α tuning)
+// at the suite's scale. K, L, |N| and the Eq. 7 aggregator family follow the
+// paper; the SGD budget (rate 0.025 linearly decayed over 35 passes) is
+// scaled to the synthetic logs, which are three orders of magnitude smaller
+// than Digg/Flickr — at the paper's γ=0.005 × ~15 passes the model would see
+// too few updates to leave its initialization.
+func (s *Suite) inf2vecConfig(seed uint64) core.Config {
+	cfg := core.Config{
+		Dim:               50,
+		ContextLength:     50,
+		Alpha:             0.1,
+		LearningRate:      0.025,
+		DecayLearningRate: true,
+		NegativeSamples:   5,
+		Iterations:        35,
+		Workers:           s.opts.Workers,
+		Seed:              seed,
+	}
+	if s.opts.Quick {
+		cfg.Dim = 16
+		cfg.ContextLength = 20
+		cfg.Iterations = 8
+	}
+	return cfg
+}
+
+// inf2vecAlphaGrid is the component-weight grid searched on the tune split.
+func (s *Suite) inf2vecAlphaGrid() []float64 {
+	if s.opts.Quick {
+		return []float64{0.15}
+	}
+	return []float64{0.05, 0.1, 0.15, 0.3}
+}
+
+// Models returns the trained method bundle for a dataset, training on first
+// use.
+func (s *Suite) Models(name string) (*trainedModels, error) {
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if m, ok := s.models[name]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+
+	m := &trainedModels{}
+	m.de = de.New(ds.Graph)
+
+	if m.st, err = st.Train(ds.Graph, ds.Train); err != nil {
+		return nil, fmt.Errorf("experiments: ST on %s: %w", name, err)
+	}
+
+	emIters := 15
+	if s.opts.Quick {
+		emIters = 5
+	}
+	if m.em, err = em.Train(ds.Graph, ds.Train, em.Config{Iterations: emIters}); err != nil {
+		return nil, fmt.Errorf("experiments: EM on %s: %w", name, err)
+	}
+
+	embCfg := embic.Config{Dim: 50, Iterations: 10, Seed: s.opts.Seed + 3}
+	if s.opts.Quick {
+		embCfg.Dim = 16
+		embCfg.Iterations = 3
+	}
+	if m.embIC, err = embic.Train(ds.Graph, ds.Train, embCfg); err != nil {
+		return nil, fmt.Errorf("experiments: Emb-IC on %s: %w", name, err)
+	}
+
+	mfCfg := mf.Config{Dim: 50, Iterations: 15, Seed: s.opts.Seed + 4}
+	if s.opts.Quick {
+		mfCfg.Dim = 16
+		mfCfg.Iterations = 5
+	}
+	if m.mf, err = mf.Train(ds.Train, mfCfg); err != nil {
+		return nil, fmt.Errorf("experiments: MF on %s: %w", name, err)
+	}
+
+	n2vCfg := node2vec.Config{
+		Dim: 50, WalksPerNode: 10, WalkLength: 40, Window: 5, Epochs: 2,
+		Seed: s.opts.Seed + 5,
+	}
+	if s.opts.Quick {
+		n2vCfg.Dim = 16
+		n2vCfg.WalksPerNode = 3
+		n2vCfg.WalkLength = 20
+		n2vCfg.Epochs = 1
+	}
+	if m.n2v, err = node2vec.Train(ds.Graph, n2vCfg); err != nil {
+		return nil, fmt.Errorf("experiments: node2vec on %s: %w", name, err)
+	}
+
+	// Tune-split selections for the latent methods' free knobs.
+	if m.mfAgg, err = s.tuneAggregator(ds, m.mf); err != nil {
+		return nil, fmt.Errorf("experiments: tuning MF on %s: %w", name, err)
+	}
+	if m.n2vAgg, err = s.tuneAggregator(ds, m.n2v); err != nil {
+		return nil, fmt.Errorf("experiments: tuning node2vec on %s: %w", name, err)
+	}
+	if err := s.tuneAndTrainInf2vec(ds, m); err != nil {
+		return nil, fmt.Errorf("experiments: Inf2vec on %s: %w", name, err)
+	}
+
+	s.mu.Lock()
+	s.models[name] = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// tuneScore is the tune-split selection criterion shared by all latent
+// methods: the sum of activation-task and diffusion-task MAP, so a single
+// configuration per dataset serves both Table II and Table III (the paper
+// likewise fixes each knob once "based on the empirical study on tuning
+// set").
+func (s *Suite) tuneScore(ds *SplitDataset, model eval.PairScorer, agg eval.Aggregator) (float64, error) {
+	act, err := eval.ActivationPrediction(ds.Graph, ds.Tune,
+		eval.LatentActivationScorer(model, agg))
+	if err != nil {
+		return 0, err
+	}
+	diff, err := eval.DiffusionPrediction(ds.Graph, ds.Tune,
+		eval.LatentDiffusionScorer(model, agg, ds.Log.NumUsers()), 0.05)
+	if err != nil {
+		return 0, err
+	}
+	return act.MAP + diff.MAP, nil
+}
+
+// tuneAggregator picks the Eq. 7 aggregator maximizing the tune-split
+// criterion for a fixed trained model.
+func (s *Suite) tuneAggregator(ds *SplitDataset, model eval.PairScorer) (eval.Aggregator, error) {
+	best := eval.Ave
+	bestScore := -1.0
+	for _, agg := range eval.Aggregators() {
+		score, err := s.tuneScore(ds, model, agg)
+		if err != nil {
+			return best, err
+		}
+		if score > bestScore {
+			bestScore = score
+			best = agg
+		}
+	}
+	return best, nil
+}
+
+// tuneAndTrainInf2vec grid-searches (α, aggregator) on the tune split, then
+// trains the remaining independently seeded runs at the chosen α.
+func (s *Suite) tuneAndTrainInf2vec(ds *SplitDataset, m *trainedModels) error {
+	type candidate struct {
+		alpha float64
+		model *core.Model
+	}
+	var best candidate
+	bestScore := -1.0
+	for _, alpha := range s.inf2vecAlphaGrid() {
+		cfg := s.inf2vecConfig(s.opts.Seed + 10)
+		cfg.Alpha = alpha
+		res, err := core.Train(ds.Graph, ds.Train, cfg)
+		if err != nil {
+			return err
+		}
+		for _, agg := range []eval.Aggregator{eval.Ave, eval.Max} {
+			score, err := s.tuneScore(ds, res.Model, agg)
+			if err != nil {
+				return err
+			}
+			if score > bestScore {
+				bestScore = score
+				best = candidate{alpha: alpha, model: res.Model}
+				m.infAgg = agg
+			}
+		}
+	}
+	m.infAlpha = best.alpha
+	m.inf = []*core.Model{best.model}
+	for run := 1; run < s.opts.Inf2vecRuns; run++ {
+		cfg := s.inf2vecConfig(s.opts.Seed + 10 + uint64(run))
+		cfg.Alpha = best.alpha
+		res, err := core.Train(ds.Graph, ds.Train, cfg)
+		if err != nil {
+			return err
+		}
+		m.inf = append(m.inf, res.Model)
+	}
+	return nil
+}
+
+// inf2vecL returns the α=1 (local-context-only) model, trained on demand.
+func (s *Suite) inf2vecL(name string, m *trainedModels) (*core.Model, error) {
+	var err error
+	m.infLOnce.Do(func() {
+		var ds *SplitDataset
+		ds, err = s.Dataset(name)
+		if err != nil {
+			return
+		}
+		cfg := s.inf2vecConfig(s.opts.Seed + 20)
+		cfg.Alpha = 1.0
+		var res *core.Result
+		res, err = core.Train(ds.Graph, ds.Train, cfg)
+		if err != nil {
+			return
+		}
+		m.infL = res.Model
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Inf2vec-L on %s: %w", name, err)
+	}
+	if m.infL == nil {
+		return nil, fmt.Errorf("experiments: Inf2vec-L on %s: earlier training failed", name)
+	}
+	return m.infL, nil
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a directed edge list from r: one "u<TAB>v" (or
+// whitespace-separated) pair per line, '#'-prefixed lines and blank lines
+// ignored. Node IDs must be non-negative integers; the graph size is the
+// largest ID seen plus one, or n if that is larger.
+func ReadEdgeList(r io.Reader, n int32) (*Graph, error) {
+	b := NewBuilder(n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id %q: %w", lineNo, fields[1], err)
+		}
+		if err := b.AddEdge(int32(u), int32(v)); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as a TSV edge list, one "u\tv" per line in
+// node order, prefixed with a comment header.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# directed edge list: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	var werr error
+	g.Edges(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", u, v); err != nil {
+			werr = err
+			return false
+		}
+		return true
+	})
+	if werr != nil {
+		return fmt.Errorf("graph: writing edge list: %w", werr)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: writing edge list: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := "# comment\n0\t1\n1 2\n\n2\t0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edges missing after parse")
+	}
+}
+
+func TestReadEdgeListRespectsMinimumN(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0\t1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",              // too few fields
+		"a\t1\n",           // bad source
+		"0\tb\n",           // bad target
+		"-1\t2\n",          // negative id
+		"0\t-2\n",          // negative id
+		"99999999999\t1\n", // overflows int32
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q: expected error, got nil", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := FromEdges(5, [][2]int32{{0, 1}, {0, 4}, {3, 2}, {4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	g.Edges(func(u, v int32) bool {
+		if !g2.HasEdge(u, v) {
+			t.Errorf("edge (%d,%d) lost in round trip", u, v)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,201 @@
+package ic
+
+import (
+	"math"
+	"testing"
+
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+)
+
+// constProber returns the same probability for every real edge.
+type constProber struct {
+	g *graph.Graph
+	p float64
+}
+
+func (c constProber) Prob(u, v int32) float64 {
+	if c.g.HasEdge(u, v) {
+		return c.p
+	}
+	return 0
+}
+
+func mustGraph(t *testing.T, n int32, edges [][2]int32) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestActivationProb(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int32{{0, 2}, {1, 2}})
+	p := constProber{g: g, p: 0.5}
+	got := ActivationProb(p, []int32{0, 1}, 2)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ActivationProb = %v, want 0.75", got)
+	}
+	if got := ActivationProb(p, nil, 2); got != 0 {
+		t.Fatalf("no active friends: prob = %v, want 0", got)
+	}
+	// Non-edges contribute nothing.
+	if got := ActivationProb(p, []int32{2}, 0); got != 0 {
+		t.Fatalf("non-edge activation prob = %v, want 0", got)
+	}
+}
+
+func TestSimulateICDeterministicExtremes(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	r := rng.New(1)
+	all := SimulateIC(g, constProber{g, 1}, []int32{0}, r)
+	for v, a := range all {
+		if !a {
+			t.Fatalf("prob-1 chain: node %d inactive", v)
+		}
+	}
+	none := SimulateIC(g, constProber{g, 0}, []int32{0}, r)
+	if !none[0] || none[1] || none[2] || none[3] {
+		t.Fatalf("prob-0 chain: mask = %v", none)
+	}
+}
+
+func TestSimulateICSeedsSanitized(t *testing.T) {
+	g := mustGraph(t, 3, nil)
+	mask := SimulateIC(g, constProber{g, 1}, []int32{-4, 1, 1, 99}, rng.New(2))
+	if mask[0] || !mask[1] || mask[2] {
+		t.Fatalf("mask = %v, want only node 1", mask)
+	}
+}
+
+func TestSimulateICSingleChance(t *testing.T) {
+	// One edge with p=0.5: over many runs, activation frequency must be
+	// ~0.5, demonstrating each activator gets exactly one try.
+	g := mustGraph(t, 2, [][2]int32{{0, 1}})
+	r := rng.New(3)
+	hits := 0
+	const runs = 20000
+	for i := 0; i < runs; i++ {
+		if SimulateIC(g, constProber{g, 0.5}, []int32{0}, r)[1] {
+			hits++
+		}
+	}
+	freq := float64(hits) / runs
+	if math.Abs(freq-0.5) > 0.02 {
+		t.Fatalf("single-chance frequency = %v, want ~0.5", freq)
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	// Diamond 0->{1,2}->3 with p=0.5 everywhere:
+	// P(1)=P(2)=0.5; P(3) = E[1-(1-0.5)^A] with A = active parents.
+	// P(3) = P(1 parent)·0.5 + P(2 parents)·0.75 = 2·0.25·0.5 + 0.25·0.75.
+	g := mustGraph(t, 4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	probs, err := MonteCarlo(g, constProber{g, 0.5}, []int32{0}, 40000, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs[0] != 1 {
+		t.Fatalf("seed probability = %v, want 1", probs[0])
+	}
+	want3 := 2*0.25*0.5 + 0.25*0.75
+	if math.Abs(probs[1]-0.5) > 0.01 || math.Abs(probs[2]-0.5) > 0.01 {
+		t.Fatalf("first-hop probs = %v/%v, want 0.5", probs[1], probs[2])
+	}
+	if math.Abs(probs[3]-want3) > 0.01 {
+		t.Fatalf("P(3) = %v, want %v", probs[3], want3)
+	}
+}
+
+func TestMonteCarloRejectsBadRuns(t *testing.T) {
+	g := mustGraph(t, 2, [][2]int32{{0, 1}})
+	if _, err := MonteCarlo(g, constProber{g, 1}, []int32{0}, 0, rng.New(5)); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+}
+
+func TestExpectedSpread(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
+	spread, err := ExpectedSpread(g, constProber{g, 1}, []int32{0}, 10, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread != 3 {
+		t.Fatalf("spread = %v, want 3", spread)
+	}
+}
+
+func TestSimulateLT(t *testing.T) {
+	// v=2 has two in-neighbors each with weight 0.5; with both seeds active
+	// the incoming weight is 1 >= any threshold, so 2 always activates.
+	g := mustGraph(t, 3, [][2]int32{{0, 2}, {1, 2}})
+	r := rng.New(7)
+	for i := 0; i < 50; i++ {
+		mask := SimulateLT(g, constProber{g, 0.5}, []int32{0, 1}, r)
+		if !mask[2] {
+			t.Fatal("LT: node with full incoming weight failed to activate")
+		}
+	}
+	// With a single seed the weight is 0.5: activation frequency ~0.5.
+	hits := 0
+	const runs = 20000
+	for i := 0; i < runs; i++ {
+		if SimulateLT(g, constProber{g, 0.5}, []int32{0}, r)[2] {
+			hits++
+		}
+	}
+	freq := float64(hits) / runs
+	if math.Abs(freq-0.5) > 0.02 {
+		t.Fatalf("LT single-parent frequency = %v, want ~0.5", freq)
+	}
+}
+
+func TestSimulateLTCascades(t *testing.T) {
+	// Chain with weight 1 edges: everything downstream of the seed
+	// activates regardless of thresholds.
+	g := mustGraph(t, 4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	mask := SimulateLT(g, constProber{g, 1}, []int32{0}, rng.New(8))
+	for v, a := range mask {
+		if !a {
+			t.Fatalf("LT chain: node %d inactive", v)
+		}
+	}
+}
+
+func TestEdgeProbsSetAndGet(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int32{{0, 1}, {0, 3}, {2, 1}})
+	ep := NewEdgeProbs(g)
+	if err := ep.Set(0, 3, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Set(2, 1, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ep.Prob(0, 3); got != 0.7 {
+		t.Fatalf("Prob(0,3) = %v, want 0.7", got)
+	}
+	if got := ep.Prob(2, 1); got != 0.2 {
+		t.Fatalf("Prob(2,1) = %v, want 0.2", got)
+	}
+	if got := ep.Prob(0, 1); got != 0 {
+		t.Fatalf("unset edge prob = %v, want 0", got)
+	}
+	if got := ep.Prob(3, 0); got != 0 {
+		t.Fatalf("non-edge prob = %v, want 0", got)
+	}
+}
+
+func TestEdgeProbsValidation(t *testing.T) {
+	g := mustGraph(t, 2, [][2]int32{{0, 1}})
+	ep := NewEdgeProbs(g)
+	if err := ep.Set(1, 0, 0.5); err == nil {
+		t.Error("non-edge Set accepted")
+	}
+	if err := ep.Set(0, 1, -0.1); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := ep.Set(0, 1, 1.5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}

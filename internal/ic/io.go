@@ -1,0 +1,79 @@
+package ic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"inf2vec/internal/graph"
+)
+
+// Binary persistence for EdgeProbs. The format stores the graph shape it
+// was trained against so a load against a mismatched graph fails loudly
+// instead of silently mis-assigning probabilities:
+//
+//	magic "I2VICP\x01\x00" | int32 numNodes | int64 numEdges | float64 probs
+var edgeProbsMagic = [8]byte{'I', '2', 'V', 'I', 'C', 'P', 1, 0}
+
+// ErrBadProbsFormat is returned by LoadEdgeProbs for malformed input.
+var ErrBadProbsFormat = errors.New("ic: not a valid edge-probability file")
+
+// ErrGraphMismatch is returned by LoadEdgeProbs when the file was saved
+// against a graph of different shape.
+var ErrGraphMismatch = errors.New("ic: edge probabilities were saved for a different graph")
+
+// Save writes the edge probabilities to w.
+func (e *EdgeProbs) Save(w io.Writer) error {
+	if _, err := w.Write(edgeProbsMagic[:]); err != nil {
+		return fmt.Errorf("ic: save: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, e.g.NumNodes()); err != nil {
+		return fmt.Errorf("ic: save: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(len(e.p))); err != nil {
+		return fmt.Errorf("ic: save: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, e.p); err != nil {
+		return fmt.Errorf("ic: save: %w", err)
+	}
+	return nil
+}
+
+// LoadEdgeProbs reads probabilities written by Save, binding them to g,
+// which must have the same shape (node and edge counts) as the graph the
+// probabilities were trained on — the CSR slot layout is a pure function of
+// the edge set, so matching shape plus matching data source implies
+// matching slots.
+func LoadEdgeProbs(r io.Reader, g *graph.Graph) (*EdgeProbs, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadProbsFormat, err)
+	}
+	if magic != edgeProbsMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadProbsFormat, magic[:])
+	}
+	var nodes int32
+	var edges int64
+	if err := binary.Read(r, binary.LittleEndian, &nodes); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadProbsFormat, err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &edges); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadProbsFormat, err)
+	}
+	if nodes != g.NumNodes() || edges != g.NumEdges() {
+		return nil, fmt.Errorf("%w: file has %d nodes / %d edges, graph has %d / %d",
+			ErrGraphMismatch, nodes, edges, g.NumNodes(), g.NumEdges())
+	}
+	e := NewEdgeProbs(g)
+	if err := binary.Read(r, binary.LittleEndian, e.p); err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", ErrBadProbsFormat, err)
+	}
+	for i, p := range e.p {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("%w: probability %v at slot %d outside [0,1]", ErrBadProbsFormat, p, i)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,79 @@
+package ic
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestEdgeProbsSaveLoadRoundTrip(t *testing.T) {
+	g := mustGraph(t, 4, [][2]int32{{0, 1}, {0, 3}, {2, 1}})
+	ep := NewEdgeProbs(g)
+	if err := ep.Set(0, 1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Set(2, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEdgeProbs(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v int32) bool {
+		if loaded.Prob(u, v) != ep.Prob(u, v) {
+			t.Fatalf("P(%d,%d) changed after round trip", u, v)
+		}
+		return true
+	})
+}
+
+func TestLoadEdgeProbsRejectsGarbage(t *testing.T) {
+	g := mustGraph(t, 2, [][2]int32{{0, 1}})
+	cases := [][]byte{nil, []byte("short"), []byte("WRONGMAGIC______________")}
+	for _, in := range cases {
+		if _, err := LoadEdgeProbs(bytes.NewReader(in), g); !errors.Is(err, ErrBadProbsFormat) {
+			t.Errorf("input %q: err = %v, want ErrBadProbsFormat", in, err)
+		}
+	}
+}
+
+func TestLoadEdgeProbsRejectsMismatchedGraph(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
+	ep := NewEdgeProbs(g)
+	var buf bytes.Buffer
+	if err := ep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := mustGraph(t, 3, [][2]int32{{0, 1}})
+	if _, err := LoadEdgeProbs(bytes.NewReader(buf.Bytes()), other); !errors.Is(err, ErrGraphMismatch) {
+		t.Errorf("err = %v, want ErrGraphMismatch", err)
+	}
+}
+
+func TestLoadEdgeProbsRejectsTruncatedAndInvalid(t *testing.T) {
+	g := mustGraph(t, 2, [][2]int32{{0, 1}})
+	ep := NewEdgeProbs(g)
+	if err := ep.Set(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := LoadEdgeProbs(bytes.NewReader(full[:len(full)-2]), g); !errors.Is(err, ErrBadProbsFormat) {
+		t.Errorf("truncated: err = %v, want ErrBadProbsFormat", err)
+	}
+	// Corrupt the stored probability to an out-of-range value.
+	bad := append([]byte(nil), full...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0xff
+	}
+	if _, err := LoadEdgeProbs(bytes.NewReader(bad), g); !errors.Is(err, ErrBadProbsFormat) {
+		t.Errorf("corrupt body: err = %v, want ErrBadProbsFormat", err)
+	}
+}

@@ -1,0 +1,129 @@
+package infmax
+
+import (
+	"math"
+	"testing"
+
+	"inf2vec/internal/graph"
+)
+
+// starProber gives probability 1 on every edge.
+type starProber struct{ g *graph.Graph }
+
+func (p starProber) Prob(u, v int32) float64 {
+	if p.g.HasEdge(u, v) {
+		return 1
+	}
+	return 0
+}
+
+// twoStars builds hubs 0 (5 leaves) and 6 (3 leaves), plus isolated node 10.
+func twoStars(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(11)
+	for leaf := int32(1); leaf <= 5; leaf++ {
+		if err := b.AddEdge(0, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for leaf := int32(7); leaf <= 9; leaf++ {
+		if err := b.AddEdge(6, leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestGreedyPicksHubsInOrder(t *testing.T) {
+	g := twoStars(t)
+	res, err := Greedy(g, starProber{g}, Config{Seeds: 2, MonteCarloRuns: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+	if res.Seeds[0] != 0 || res.Seeds[1] != 6 {
+		t.Fatalf("seeds = %v, want [0 6] (largest hubs first)", res.Seeds)
+	}
+	// Deterministic spreads: {0} covers 6 nodes, adding 6 covers 10.
+	if math.Abs(res.Spread[0]-6) > 1e-9 || math.Abs(res.Spread[1]-10) > 1e-9 {
+		t.Fatalf("spread trajectory = %v, want [6 10]", res.Spread)
+	}
+}
+
+func TestGreedySpreadMonotone(t *testing.T) {
+	g := twoStars(t)
+	res, err := Greedy(g, starProber{g}, Config{Seeds: 4, MonteCarloRuns: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Spread); i++ {
+		if res.Spread[i] < res.Spread[i-1]-1e-9 {
+			t.Fatalf("spread not monotone: %v", res.Spread)
+		}
+	}
+}
+
+func TestGreedyCandidateRestriction(t *testing.T) {
+	g := twoStars(t)
+	res, err := Greedy(g, starProber{g}, Config{
+		Seeds: 1, MonteCarloRuns: 20, Seed: 3, Candidates: []int32{6, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seeds[0] != 6 {
+		t.Fatalf("restricted greedy picked %d, want 6", res.Seeds[0])
+	}
+}
+
+func TestGreedyCELFPrunes(t *testing.T) {
+	g := twoStars(t)
+	res, err := Greedy(g, starProber{g}, Config{Seeds: 3, MonteCarloRuns: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive greedy would need ~11 + 10 + 9 = 30 evaluations; CELF must do
+	// meaningfully fewer than the naive count after the initial pass.
+	if res.Evaluations >= 30 {
+		t.Fatalf("evaluations = %d, CELF should prune below naive 30", res.Evaluations)
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	g := twoStars(t)
+	if _, err := Greedy(g, starProber{g}, Config{Seeds: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Greedy(g, starProber{g}, Config{Seeds: 5, Candidates: []int32{1}}); err == nil {
+		t.Error("budget above candidate count accepted")
+	}
+	if _, err := Greedy(g, starProber{g}, Config{Seeds: 1, MonteCarloRuns: -1}); err == nil {
+		t.Error("negative MC runs accepted")
+	}
+}
+
+func TestModelProber(t *testing.T) {
+	g := twoStars(t)
+	p := &ModelProber{
+		G:     g,
+		Score: func(u, v int32) float64 { return 100 },
+	}
+	if got := p.Prob(0, 1); got < 0.99 {
+		t.Errorf("high-score edge prob = %v, want ~1", got)
+	}
+	if got := p.Prob(1, 0); got != 0 {
+		t.Errorf("non-edge prob = %v, want 0", got)
+	}
+	p.Score = func(u, v int32) float64 { return -100 }
+	if got := p.Prob(0, 1); got > 0.01 {
+		t.Errorf("low-score edge prob = %v, want ~0", got)
+	}
+	// Offset shifts the operating point.
+	p.Score = func(u, v int32) float64 { return 0 }
+	p.Offset = 0
+	if got := p.Prob(0, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("zero-score prob = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,146 @@
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadWeights is returned when an alias table is built from weights that
+// are empty, negative, NaN, or sum to zero.
+var ErrBadWeights = errors.New("rng: weights must be non-empty, finite, non-negative, and not all zero")
+
+// Alias is Walker's alias method for O(1) sampling from a fixed discrete
+// distribution. Building is O(n); each Sample is two random numbers and one
+// comparison. It is the workhorse behind weighted negative sampling and the
+// synthetic data generator's preferential attachment.
+//
+// An Alias table is immutable after construction and safe for concurrent
+// Sample calls (each call uses the caller-supplied RNG for state).
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over weights. The weights need not be
+// normalized. Entries with zero weight are never sampled.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrBadWeights
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weights[%d] = %v", ErrBadWeights, i, w)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, ErrBadWeights
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities; split into under- and over-full buckets.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Remaining buckets are (numerically) exactly full.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws one index from the table's distribution using r.
+func (a *Alias) Sample(r *RNG) int32 {
+	i := int32(r.Intn(len(a.prob)))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// UnigramTable is the word2vec-style negative-sampling distribution: outcome
+// i is drawn proportionally to count[i]^power (power 0.75 in word2vec; power
+// 0 yields the uniform distribution the Inf2vec paper describes). It is an
+// alias table underneath, so sampling is O(1).
+type UnigramTable struct {
+	alias *Alias
+}
+
+// NewUnigramTable builds a table over counts raised to power. Outcomes with
+// zero count still receive a tiny floor weight so that every node can appear
+// as a negative sample — without the floor, nodes never observed as context
+// would keep their random initializations forever.
+func NewUnigramTable(counts []int64, power float64) (*UnigramTable, error) {
+	if len(counts) == 0 {
+		return nil, ErrBadWeights
+	}
+	w := make([]float64, len(counts))
+	var total float64
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("%w: counts[%d] = %d", ErrBadWeights, i, c)
+		}
+		w[i] = math.Pow(float64(c), power)
+		total += w[i]
+	}
+	if total == 0 {
+		// All-zero counts: fall back to uniform.
+		for i := range w {
+			w[i] = 1
+		}
+	} else {
+		floor := total / float64(len(counts)) * 1e-3
+		for i := range w {
+			if w[i] < floor {
+				w[i] = floor
+			}
+		}
+	}
+	a, err := NewAlias(w)
+	if err != nil {
+		return nil, err
+	}
+	return &UnigramTable{alias: a}, nil
+}
+
+// Sample draws one outcome index.
+func (t *UnigramTable) Sample(r *RNG) int32 { return t.alias.Sample(r) }
+
+// Len returns the number of outcomes.
+func (t *UnigramTable) Len() int { return t.alias.Len() }

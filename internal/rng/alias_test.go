@@ -1,0 +1,200 @@
+package rng
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasRejectsBadWeights(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, w := range cases {
+		if _, err := NewAlias(w); !errors.Is(err, ErrBadWeights) {
+			t.Errorf("NewAlias(%v): err = %v, want ErrBadWeights", w, err)
+		}
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 0, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(31)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("outcome %d: frequency %v, want %v", i, got, want)
+		}
+	}
+	if counts[3] != 0 {
+		t.Errorf("zero-weight outcome sampled %d times", counts[3])
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+}
+
+// Property: for any positive weight vector, all samples land in range and
+// strictly-zero weights are never drawn.
+func TestAliasSampleInRange(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			w[i] = float64(v)
+			sum += w[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		a, err := NewAlias(w)
+		if err != nil {
+			return false
+		}
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			idx := a.Sample(r)
+			if idx < 0 || int(idx) >= len(w) || w[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnigramTablePower(t *testing.T) {
+	counts := []int64{1, 16}
+	// With power 0.75 the ratio should be 16^0.75 : 1 = 8 : 1.
+	u, err := NewUnigramTable(counts, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(41)
+	const draws = 200000
+	n1 := 0
+	for i := 0; i < draws; i++ {
+		if u.Sample(r) == 1 {
+			n1++
+		}
+	}
+	got := float64(n1) / float64(draws-n1)
+	if math.Abs(got-8) > 0.5 {
+		t.Errorf("unigram^0.75 ratio = %v, want ~8", got)
+	}
+}
+
+func TestUnigramTableUniformPower(t *testing.T) {
+	counts := []int64{100, 1, 50, 7}
+	u, err := NewUnigramTable(counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(43)
+	const draws = 100000
+	buckets := make([]int, len(counts))
+	for i := 0; i < draws; i++ {
+		buckets[u.Sample(r)]++
+	}
+	want := float64(draws) / float64(len(counts))
+	for i, c := range buckets {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("power=0 bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestUnigramTableZeroCountsGetFloor(t *testing.T) {
+	counts := []int64{0, 1000, 0}
+	u, err := NewUnigramTable(counts, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(47)
+	seen := map[int32]bool{}
+	for i := 0; i < 200000; i++ {
+		seen[u.Sample(r)] = true
+	}
+	for i := int32(0); i < 3; i++ {
+		if !seen[i] {
+			t.Errorf("outcome %d never sampled despite floor", i)
+		}
+	}
+}
+
+func TestUnigramTableAllZero(t *testing.T) {
+	u, err := NewUnigramTable([]int64{0, 0, 0}, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(53)
+	buckets := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		buckets[u.Sample(r)]++
+	}
+	for i, c := range buckets {
+		if c < 8000 {
+			t.Errorf("all-zero counts should be uniform; bucket %d = %d", i, c)
+		}
+	}
+}
+
+func TestUnigramTableRejectsNegative(t *testing.T) {
+	if _, err := NewUnigramTable([]int64{1, -2}, 0.75); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v, want ErrBadWeights", err)
+	}
+	if _, err := NewUnigramTable(nil, 0.75); !errors.Is(err, ErrBadWeights) {
+		t.Errorf("err = %v, want ErrBadWeights", err)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w := make([]float64, 100000)
+	r := New(1)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	a, err := NewAlias(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}

@@ -1,0 +1,168 @@
+// Package stats provides the descriptive statistics behind the paper's data
+// observations (§III-A): frequency distributions and power-law fits for
+// Figures 1 and 2, and empirical CDFs for Figure 3.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by estimators that need at least one observation.
+var ErrNoData = errors.New("stats: no data")
+
+// FreqPoint is one point of a frequency distribution: Count users share the
+// same occurrence Value.
+type FreqPoint struct {
+	Value int64 // e.g. number of times a user is a pair source
+	Count int64 // number of users with that value
+}
+
+// FrequencyDistribution converts per-user occurrence counts into the
+// (value, #users) distribution plotted in Figures 1 and 2. Zero values are
+// dropped (log-log plots cannot show them); points come out sorted by
+// Value.
+func FrequencyDistribution(values []int64) []FreqPoint {
+	counts := make(map[int64]int64)
+	for _, v := range values {
+		if v > 0 {
+			counts[v]++
+		}
+	}
+	out := make([]FreqPoint, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, FreqPoint{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// PowerLawAlpha estimates the exponent α of a discrete power law p(x) ∝
+// x^(−α) by the Clauset-Shalizi-Newman maximum-likelihood approximation
+//
+//	α ≈ 1 + n / Σ ln(x_i / (xmin − 1/2)),
+//
+// over the observations with x ≥ xmin. It returns ErrNoData when fewer than
+// two observations qualify.
+func PowerLawAlpha(values []int64, xmin int64) (float64, error) {
+	if xmin < 1 {
+		xmin = 1
+	}
+	var n int
+	var sum float64
+	base := float64(xmin) - 0.5
+	for _, v := range values {
+		if v >= xmin {
+			n++
+			sum += math.Log(float64(v) / base)
+		}
+	}
+	if n < 2 || sum == 0 {
+		return 0, ErrNoData
+	}
+	return 1 + float64(n)/sum, nil
+}
+
+// LogLogSlope fits a least-squares line to the log-log frequency
+// distribution and returns its slope — a quick visual-shape check that the
+// distribution is heavy-tailed (slope clearly negative). It returns
+// ErrNoData with fewer than two distinct positive points.
+func LogLogSlope(dist []FreqPoint) (float64, error) {
+	var xs, ys []float64
+	for _, p := range dist {
+		if p.Value > 0 && p.Count > 0 {
+			xs = append(xs, math.Log(float64(p.Value)))
+			ys = append(ys, math.Log(float64(p.Count)))
+		}
+	}
+	if len(xs) < 2 {
+		return 0, ErrNoData
+	}
+	slope, _, err := LinearFit(xs, ys)
+	return slope, err
+}
+
+// LinearFit returns the least-squares slope and intercept of y over x.
+func LinearFit(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, ErrNoData
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, ErrNoData
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// CDF is an empirical cumulative distribution over integer observations.
+type CDF struct {
+	sorted []int
+}
+
+// NewCDF builds the empirical CDF of the observations.
+func NewCDF(values []int) *CDF {
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// At returns P(X <= x), or 0 for an empty sample.
+func (c *CDF) At(x int) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.SearchInts(c.sorted, x+1)
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Points samples the CDF at each x in xs — the series plotted in Figure 3.
+func (c *CDF) Points(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the sample, or 0 when empty.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or 0 for
+// fewer than two observations. Tables II/III report it for Inf2vec over 10
+// runs.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var s float64
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)-1))
+}

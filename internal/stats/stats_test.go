@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"inf2vec/internal/rng"
+)
+
+func TestFrequencyDistribution(t *testing.T) {
+	dist := FrequencyDistribution([]int64{0, 1, 1, 2, 5, 5, 5})
+	want := []FreqPoint{{1, 2}, {2, 1}, {5, 3}}
+	if len(dist) != len(want) {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", dist, want)
+		}
+	}
+}
+
+func TestFrequencyDistributionEmpty(t *testing.T) {
+	if dist := FrequencyDistribution([]int64{0, 0}); len(dist) != 0 {
+		t.Fatalf("zero-only dist = %v, want empty", dist)
+	}
+}
+
+func TestPowerLawAlphaRecoversExponent(t *testing.T) {
+	// Sample from a discrete power law with alpha=2.5 by inverse-CDF on a
+	// Pareto and floor.
+	r := rng.New(1)
+	values := make([]int64, 200000)
+	for i := range values {
+		values[i] = int64(r.Pareto(1, 1.5)) // tail exponent alpha = 1 + 1.5 = 2.5
+		if values[i] < 1 {
+			values[i] = 1
+		}
+	}
+	// The CSN discrete approximation is only accurate for xmin >~ 6.
+	alpha, err := PowerLawAlpha(values, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-2.5) > 0.15 {
+		t.Fatalf("alpha = %v, want ~2.5", alpha)
+	}
+}
+
+func TestPowerLawAlphaNoData(t *testing.T) {
+	if _, err := PowerLawAlpha(nil, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := PowerLawAlpha([]int64{5}, 1); !errors.Is(err, ErrNoData) {
+		t.Errorf("single point err = %v, want ErrNoData", err)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v x + %v, want 2x + 1", slope, intercept)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrNoData) {
+		t.Error("single point accepted")
+	}
+	if _, _, err := LinearFit([]float64{2, 2}, []float64{1, 5}); !errors.Is(err, ErrNoData) {
+		t.Error("vertical line accepted")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrNoData) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLogLogSlopeNegativeForPowerLaw(t *testing.T) {
+	// Perfect power law: count = 1000 / value^2.
+	var dist []FreqPoint
+	for v := int64(1); v <= 10; v++ {
+		dist = append(dist, FreqPoint{Value: v, Count: 1000 / (v * v)})
+	}
+	slope, err := LogLogSlope(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope > -1.5 {
+		t.Fatalf("slope = %v, want strongly negative", slope)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]int{0, 0, 0, 1, 2, 5})
+	cases := []struct {
+		x    int
+		want float64
+	}{
+		{-1, 0}, {0, 0.5}, {1, 4.0 / 6}, {4, 5.0 / 6}, {5, 1}, {100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("CDF(%d) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if c.Len() != 6 {
+		t.Errorf("Len = %d, want 6", c.Len())
+	}
+	pts := c.Points([]int{0, 1})
+	if pts[0] != 0.5 || math.Abs(pts[1]-4.0/6) > 1e-12 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(10) != 0 || c.Len() != 0 {
+		t.Fatal("empty CDF misbehaves")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	r := rng.New(3)
+	values := make([]int, 500)
+	for i := range values {
+		values[i] = r.Intn(20)
+	}
+	c := NewCDF(values)
+	prev := 0.0
+	for x := -1; x <= 21; x++ {
+		cur := c.At(x)
+		if cur < prev {
+			t.Fatalf("CDF not monotone at %d: %v < %v", x, cur, prev)
+		}
+		prev = cur
+	}
+	if prev != 1 {
+		t.Fatalf("CDF(max) = %v, want 1", prev)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(vals); math.Abs(got-2.13808993) > 1e-6 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{1}) != 0 || Mean(nil) != 0 {
+		t.Error("degenerate Mean/StdDev misbehave")
+	}
+}

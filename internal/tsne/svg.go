@@ -1,0 +1,78 @@
+package tsne
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSVG renders a layout as an SVG scatter plot, highlighting the given
+// pairs with distinct colors and connecting lines — the presentation of the
+// paper's Figure 6. Highlight pairs index into the layout.
+func WriteSVG(w io.Writer, layout []Point, highlight [][2]int, title string) error {
+	if len(layout) == 0 {
+		return fmt.Errorf("tsne: empty layout")
+	}
+	const (
+		width, height = 640.0, 640.0
+		margin        = 40.0
+	)
+	minX, maxX := layout[0].X, layout[0].X
+	minY, maxY := layout[0].Y, layout[0].Y
+	for _, p := range layout {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	sx := func(x float64) float64 { return margin + (x-minX)/spanX*(width-2*margin) }
+	sy := func(y float64) float64 { return margin + (y-minY)/spanY*(height-2*margin) }
+
+	highlighted := make(map[int]string)
+	colors := []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e"}
+	for i, pr := range highlight {
+		c := colors[i%len(colors)]
+		highlighted[pr[0]] = c
+		highlighted[pr[1]] = c
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(bw, `<text x="%.0f" y="24" font-family="sans-serif" font-size="16">%s</text>`+"\n", margin, title)
+	for _, p := range layout {
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="2" fill="#bbbbbb"/>`+"\n", sx(p.X), sy(p.Y))
+	}
+	for i, pr := range highlight {
+		if pr[0] < 0 || pr[0] >= len(layout) || pr[1] < 0 || pr[1] >= len(layout) {
+			return fmt.Errorf("tsne: highlight pair %v out of range", pr)
+		}
+		c := colors[i%len(colors)]
+		a, b := layout[pr[0]], layout[pr[1]]
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="3,2"/>`+"\n",
+			sx(a.X), sy(a.Y), sx(b.X), sy(b.Y), c)
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="5" fill="%s"/>`+"\n", sx(a.X), sy(a.Y), c)
+		fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="5" fill="none" stroke="%s" stroke-width="2"/>`+"\n", sx(b.X), sy(b.Y), c)
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("tsne: writing svg: %w", err)
+	}
+	return nil
+}

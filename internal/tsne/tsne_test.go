@@ -1,0 +1,165 @@
+package tsne
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"inf2vec/internal/rng"
+)
+
+// clusters generates two well-separated Gaussian blobs in d dimensions.
+func clusters(n, d int, seed uint64) ([][]float32, []int) {
+	r := rng.New(seed)
+	x := make([][]float32, n)
+	labels := make([]int, n)
+	for i := range x {
+		row := make([]float32, d)
+		label := i % 2
+		offset := float32(label) * 10
+		for k := range row {
+			row[k] = offset + float32(r.NormFloat64())*0.5
+		}
+		x[i] = row
+		labels[i] = label
+	}
+	return x, labels
+}
+
+func TestEmbedValidation(t *testing.T) {
+	x, _ := clusters(3, 4, 1)
+	if _, err := Embed(x, Config{}); err == nil {
+		t.Error("3 points accepted")
+	}
+	bad := [][]float32{{1, 2}, {1}, {1, 2}, {1, 2}}
+	if _, err := Embed(bad, Config{}); err == nil {
+		t.Error("ragged input accepted")
+	}
+	x, _ = clusters(10, 3, 1)
+	if _, err := Embed(x, Config{Perplexity: -1}); err == nil {
+		t.Error("negative perplexity accepted")
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	x, labels := clusters(40, 8, 2)
+	layout, err := Embed(x, Config{Perplexity: 10, Iterations: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layout) != 40 {
+		t.Fatalf("layout size = %d", len(layout))
+	}
+	// Mean within-cluster distance must be well below cross-cluster.
+	dist := func(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+	var within, cross float64
+	var nw, nc int
+	for i := range layout {
+		for j := i + 1; j < len(layout); j++ {
+			d := dist(layout[i], layout[j])
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Fatal("non-finite layout")
+			}
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				cross += d
+				nc++
+			}
+		}
+	}
+	if within/float64(nw) >= 0.5*cross/float64(nc) {
+		t.Fatalf("clusters not separated: within %v vs cross %v",
+			within/float64(nw), cross/float64(nc))
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x, _ := clusters(12, 4, 4)
+	cfg := Config{Perplexity: 3, Iterations: 50, Seed: 9}
+	a, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Embed(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed embedding diverged")
+		}
+	}
+}
+
+func TestEmbedIdenticalPoints(t *testing.T) {
+	// All-identical input must not NaN out (degenerate affinity fallback).
+	x := make([][]float32, 6)
+	for i := range x {
+		x[i] = []float32{1, 1, 1}
+	}
+	layout, err := Embed(x, Config{Perplexity: 2, Iterations: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range layout {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatal("NaN in layout for identical points")
+		}
+	}
+}
+
+func TestPairProximity(t *testing.T) {
+	layout := []Point{{0, 0}, {0.1, 0}, {10, 0}, {10.1, 0}}
+	// Pairs (0,1) and (2,3) are tight; global mean distance is large.
+	prox, err := PairProximity(layout, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prox >= 0.1 {
+		t.Fatalf("proximity = %v, want << 1", prox)
+	}
+	// A far pair yields proximity above 1.
+	prox, err = PairProximity(layout, [][2]int{{0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prox <= 1 {
+		t.Fatalf("far-pair proximity = %v, want > 1", prox)
+	}
+}
+
+func TestPairProximityValidation(t *testing.T) {
+	layout := []Point{{0, 0}, {1, 1}}
+	if _, err := PairProximity(layout, nil); err == nil {
+		t.Error("empty pairs accepted")
+	}
+	if _, err := PairProximity(layout, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+	same := []Point{{1, 1}, {1, 1}}
+	if _, err := PairProximity(same, [][2]int{{0, 1}}); err == nil {
+		t.Error("degenerate layout accepted")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	layout := []Point{{0, 0}, {1, 1}, {2, 0}, {0, 2}}
+	var sb strings.Builder
+	if err := WriteSVG(&sb, layout, [][2]int{{0, 1}}, "test layout"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "test layout", "<circle", "<line"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if err := WriteSVG(&sb, nil, nil, "x"); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if err := WriteSVG(&sb, layout, [][2]int{{0, 99}}, "x"); err == nil {
+		t.Error("out-of-range highlight accepted")
+	}
+}

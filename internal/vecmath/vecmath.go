@@ -1,0 +1,181 @@
+// Package vecmath provides the dense float32 vector kernels and sigmoid
+// machinery used by every embedding model in this repository (Inf2vec,
+// Emb-IC, MF/BPR, node2vec).
+//
+// The package follows the word2vec implementation idiom: embeddings are
+// float32 for cache density, hot loops operate on raw slices, and the
+// logistic function used inside SGD is served from a precomputed lookup
+// table (an EXP_TABLE) because sigmoid evaluation dominates training cost
+// otherwise. Exact float64 variants are also provided for evaluation code,
+// where accuracy matters more than speed.
+package vecmath
+
+import "math"
+
+// Dot returns the inner product of a and b. It panics if the lengths differ,
+// since a length mismatch is always a programming error in this codebase.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes a += alpha*b in place.
+func Axpy(alpha float32, b []float32, a []float32) {
+	if len(a) != len(b) {
+		panic("vecmath: Axpy length mismatch")
+	}
+	for i, v := range b {
+		a[i] += alpha * v
+	}
+}
+
+// Scale multiplies a by alpha in place.
+func Scale(alpha float32, a []float32) {
+	for i := range a {
+		a[i] *= alpha
+	}
+}
+
+// Zero sets a to all zeros.
+func Zero(a []float32) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+// Copy copies src into dst. It panics if the lengths differ.
+func Copy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("vecmath: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float32) float32 {
+	var s float64
+	for _, v := range a {
+		s += float64(v) * float64(v)
+	}
+	return float32(math.Sqrt(s))
+}
+
+// SquaredDistance returns ||a-b||^2.
+func SquaredDistance(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: SquaredDistance length mismatch")
+	}
+	var s float32
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0 if
+// either vector is zero.
+func CosineSimilarity(a, b []float32) float32 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Sigmoid is the exact logistic function 1/(1+e^-x), computed in float64 and
+// safe for any finite input.
+func Sigmoid(x float64) float64 {
+	// Evaluate in the numerically stable branch to avoid overflow of exp.
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// LogSigmoid returns log(sigmoid(x)) without underflow: for very negative x
+// it approaches x rather than -Inf-via-log(0).
+func LogSigmoid(x float64) float64 {
+	if x >= 0 {
+		return -math.Log1p(math.Exp(-x))
+	}
+	return x - math.Log1p(math.Exp(x))
+}
+
+// Sigmoid lookup table, word2vec style: tabulate sigmoid over
+// [-maxExp, +maxExp] and clamp outside. Training gradients saturate to 0/1
+// beyond |x| = 6 anyway, so the clamp loses nothing that SGD cares about.
+const (
+	maxExp       = 6.0
+	expTableSize = 4096
+)
+
+var expTable [expTableSize]float32
+
+func init() {
+	for i := range expTable {
+		x := (float64(i)/expTableSize*2 - 1) * maxExp
+		expTable[i] = float32(Sigmoid(x))
+	}
+}
+
+// FastSigmoid returns a table-interpolated logistic value, clamped to the
+// table's first/last entries outside [-6, 6]. Maximum absolute error versus
+// the exact sigmoid is below 2e-3, which is immaterial for SGD.
+func FastSigmoid(x float32) float32 {
+	if x >= maxExp {
+		return expTable[expTableSize-1]
+	}
+	if x <= -maxExp {
+		return expTable[0]
+	}
+	idx := int((x + maxExp) * (expTableSize / (2 * maxExp)))
+	if idx < 0 {
+		idx = 0
+	} else if idx >= expTableSize {
+		idx = expTableSize - 1
+	}
+	return expTable[idx]
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("vecmath: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float32
+		want float32
+	}{
+		{nil, nil, 0},
+		{[]float32{1}, []float32{2}, 2},
+		{[]float32{1, 2, 3}, []float32{4, 5, 6}, 32},
+		{[]float32{1, -1}, []float32{1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Dot(c.a, c.b); got != c.want {
+			t.Errorf("Dot(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float32{1}, []float32{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	a := []float32{1, 2, 3}
+	Axpy(2, []float32{10, 20, 30}, a)
+	want := []float32{21, 42, 63}
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("Axpy result %v, want %v", a, want)
+		}
+	}
+}
+
+func TestScaleAndZero(t *testing.T) {
+	a := []float32{1, -2, 4}
+	Scale(0.5, a)
+	if a[0] != 0.5 || a[1] != -1 || a[2] != 2 {
+		t.Fatalf("Scale result %v", a)
+	}
+	Zero(a)
+	for _, v := range a {
+		if v != 0 {
+			t.Fatalf("Zero left %v", a)
+		}
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float32{3, 4}); !almostEqual(float64(got), 5, 1e-6) {
+		t.Errorf("Norm2(3,4) = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+}
+
+func TestSquaredDistance(t *testing.T) {
+	got := SquaredDistance([]float32{1, 2}, []float32{4, 6})
+	if got != 25 {
+		t.Errorf("SquaredDistance = %v, want 25", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float32{1, 0}, []float32{2, 0}); !almostEqual(float64(got), 1, 1e-6) {
+		t.Errorf("parallel cosine = %v, want 1", got)
+	}
+	if got := CosineSimilarity([]float32{1, 0}, []float32{0, 3}); !almostEqual(float64(got), 0, 1e-6) {
+		t.Errorf("orthogonal cosine = %v, want 0", got)
+	}
+	if got := CosineSimilarity([]float32{0, 0}, []float32{1, 1}); got != 0 {
+		t.Errorf("zero-vector cosine = %v, want 0", got)
+	}
+}
+
+func TestSigmoidValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{100, 1},
+		{-100, 0},
+		{math.Log(3), 0.75},
+	}
+	for _, c := range cases {
+		if got := Sigmoid(c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Sigmoid(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+// Property: sigmoid(-x) = 1 - sigmoid(x) and sigmoid is monotone.
+func TestSigmoidSymmetryAndMonotonicity(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 500)
+		s := Sigmoid(x)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if !almostEqual(Sigmoid(-x), 1-s, 1e-12) {
+			return false
+		}
+		return Sigmoid(x+1) >= s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSigmoidStability(t *testing.T) {
+	// For large negative x, log(sigmoid(x)) ~= x.
+	if got := LogSigmoid(-1000); !almostEqual(got, -1000, 1e-9) {
+		t.Errorf("LogSigmoid(-1000) = %v, want -1000", got)
+	}
+	if got := LogSigmoid(1000); !almostEqual(got, 0, 1e-9) {
+		t.Errorf("LogSigmoid(1000) = %v, want ~0", got)
+	}
+	if got := LogSigmoid(0); !almostEqual(got, math.Log(0.5), 1e-12) {
+		t.Errorf("LogSigmoid(0) = %v, want log(1/2)", got)
+	}
+}
+
+func TestFastSigmoidAccuracy(t *testing.T) {
+	for x := -8.0; x <= 8.0; x += 0.01 {
+		got := float64(FastSigmoid(float32(x)))
+		want := Sigmoid(x)
+		if math.Abs(got-want) > 3e-3 {
+			t.Fatalf("FastSigmoid(%v) = %v, exact %v (err %v)", x, got, want, math.Abs(got-want))
+		}
+	}
+}
+
+func TestFastSigmoidClamps(t *testing.T) {
+	if got := FastSigmoid(1000); got < 0.99 {
+		t.Errorf("FastSigmoid(1000) = %v, want ~1", got)
+	}
+	if got := FastSigmoid(-1000); got > 0.01 {
+		t.Errorf("FastSigmoid(-1000) = %v, want ~0", got)
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Errorf("Max = %v, want 4", got)
+	}
+	if got := Sum(xs); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+}
+
+func TestMaxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func BenchmarkDot50(b *testing.B) {
+	x := make([]float32, 50)
+	y := make([]float32, 50)
+	for i := range x {
+		x[i] = float32(i)
+		y[i] = float32(50 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}
+
+func BenchmarkFastSigmoid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FastSigmoid(float32(i%12) - 6)
+	}
+}
+
+func BenchmarkExactSigmoid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Sigmoid(float64(i%12) - 6)
+	}
+}
