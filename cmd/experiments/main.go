@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"inf2vec/internal/experiments"
@@ -29,19 +32,37 @@ func main() {
 	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
 	flag.Parse()
 
-	if err := runAll(*run, *quick, *seed, *svgDir); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal, unregister the handler so a second
+		// Ctrl-C kills the process instead of waiting for the running
+		// section to finish.
+		<-ctx.Done()
+		stop()
+	}()
+	if err := runAll(ctx, *run, *quick, *seed, *svgDir); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func runAll(list string, quick bool, seed uint64, svgDir string) error {
+func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
 	all := want["all"]
-	pick := func(name string) bool { return all || want[name] }
+	interrupted := false
+	// Experiments stop at section boundaries on SIGINT/SIGTERM: sections
+	// already printed stay valid, the rest are skipped.
+	pick := func(name string) bool {
+		if ctx.Err() != nil {
+			interrupted = true
+			return false
+		}
+		return all || want[name]
+	}
 
 	s := experiments.NewSuite(experiments.Options{Seed: seed, Quick: quick})
 	out := os.Stdout
@@ -168,6 +189,9 @@ func runAll(list string, quick bool, seed uint64, svgDir string) error {
 		if err := experiments.RenderTableVI(out, res); err != nil {
 			return err
 		}
+	}
+	if interrupted {
+		fmt.Fprintln(out, "interrupted: remaining experiments skipped")
 	}
 	fmt.Fprintf(out, "total wall clock: %s\n", time.Since(start).Round(time.Second))
 	return nil

@@ -11,12 +11,21 @@
 // are held out, matching the paper's protocol); eval replays the held-out
 // test split; score prints the users most likely to be influenced by a
 // source user.
+//
+// train supports fault-tolerant runs: -checkpoint periodically persists
+// training state atomically, -resume continues from it, and SIGINT/SIGTERM
+// cancel training cleanly — the best-so-far model (and, with -checkpoint, a
+// final checkpoint) is saved before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"inf2vec"
 )
@@ -47,6 +56,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score> [flags]
   train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -seed 1]
+        [-checkpoint CKPT [-checkpoint-every N] [-resume]]
   eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
   score -model M -source U [-top 10] [-agg max]`)
 }
@@ -93,11 +103,17 @@ func cmdTrain(args []string) error {
 	neg := fs.Int("neg", 5, "negative samples per positive")
 	workers := fs.Int("workers", 1, "hogwild workers")
 	seed := fs.Uint64("seed", 1, "random seed")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file for fault-tolerant training")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every N epochs (default 1 when -checkpoint is set)")
+	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *graphPath == "" || *logPath == "" {
 		return fmt.Errorf("train: -graph and -log are required")
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("train: -resume requires -checkpoint")
 	}
 	g, log, err := loadData(*graphPath, *logPath)
 	if err != nil {
@@ -110,7 +126,15 @@ func cmdTrain(args []string) error {
 	fmt.Printf("training on %d episodes (%d actions) over %d users\n",
 		train.NumEpisodes(), train.NumActions(), g.NumNodes())
 
-	model, stats, err := inf2vec.TrainWithStats(g, train, inf2vec.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		// After the first signal starts the graceful drain, unregister the
+		// handler so a second Ctrl-C kills the process immediately.
+		<-ctx.Done()
+		stop()
+	}()
+	cfg := inf2vec.Config{
 		Dim:               *dim,
 		ContextLength:     *ctxLen,
 		Alpha:             *alpha,
@@ -120,15 +144,49 @@ func cmdTrain(args []string) error {
 		NegativeSamples:   *neg,
 		Workers:           *workers,
 		Seed:              *seed,
-	})
-	if err != nil {
-		return err
+		CheckpointPath:    *ckptPath,
+		CheckpointEvery:   *ckptEvery,
 	}
+	var model *inf2vec.Model
+	var stats *inf2vec.TrainStats
+	if *resume {
+		model, stats, err = inf2vec.Resume(ctx, g, train, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at epoch %d\n", *ckptPath, stats.StartEpoch)
+	} else {
+		model, stats, err = inf2vec.TrainWithStatsContext(ctx, g, train, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	stop()
 	for i, loss := range stats.EpochLoss {
 		fmt.Printf("  epoch %2d: loss %.4f (%.2fs)\n", i+1, loss, stats.EpochSeconds[i])
 	}
+	for _, rec := range stats.Recoveries {
+		fmt.Printf("  recovered from divergence after epoch %d (lr scale %.4g, reinit=%t)\n",
+			rec.Epoch+1, rec.LRScale, rec.Reinit)
+	}
 	if err := model.SaveFile(*modelPath); err != nil {
 		return err
+	}
+	if stats.Canceled {
+		fmt.Printf("interrupted after %d epochs; saved best-so-far model to %s\n",
+			len(stats.EpochLoss), *modelPath)
+		if *ckptPath != "" {
+			// Replay the flags the user actually set: the checkpoint only
+			// accepts a resume under the same hyperparameters.
+			hint := []string{"inf2vec", "train"}
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name != "resume" {
+					hint = append(hint, "-"+f.Name, f.Value.String())
+				}
+			})
+			fmt.Printf("resume with: %s -resume\n", strings.Join(hint, " "))
+		}
+		return nil
 	}
 	fmt.Printf("saved model (%d users x K=%d) to %s\n", model.NumUsers(), model.Dim(), *modelPath)
 	return nil

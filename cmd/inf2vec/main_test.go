@@ -72,6 +72,48 @@ func TestTrainEvalScorePipeline(t *testing.T) {
 	}
 }
 
+func TestTrainCheckpointAndResume(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.i2v")
+	ckptPath := filepath.Join(dir, "train.ckpt")
+
+	common := []string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-dim", "8", "-len", "10", "-iters", "3", "-seed", "1",
+		"-checkpoint", ckptPath,
+	}
+	if err := cmdTrain(common); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatal("checkpoint file not written:", err)
+	}
+	ref, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resuming the finished run must reproduce the same model bytes.
+	if err := os.Remove(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain(append(common, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(resumed) {
+		t.Fatal("resumed model differs from the original run")
+	}
+	// A mismatched configuration must be rejected.
+	mismatched := append(append([]string(nil), common...), "-resume", "-lr", "0.1")
+	if err := cmdTrain(mismatched); err == nil {
+		t.Fatal("resume under a different configuration accepted")
+	}
+}
+
 func TestCommandValidation(t *testing.T) {
 	if err := cmdTrain([]string{"-graph", "", "-log", ""}); err == nil {
 		t.Error("train without inputs accepted")
@@ -81,6 +123,9 @@ func TestCommandValidation(t *testing.T) {
 	}
 	if err := cmdScore([]string{"-model", ""}); err == nil {
 		t.Error("score without model accepted")
+	}
+	if err := cmdTrain([]string{"-graph", "g", "-log", "a", "-resume"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
 	}
 	if _, err := parseAgg("bogus"); err == nil {
 		t.Error("bogus aggregator accepted")

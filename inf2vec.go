@@ -28,6 +28,7 @@
 package inf2vec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -122,6 +123,20 @@ type Model struct {
 	inner *core.Model
 }
 
+// Recovery records one divergence-recovery event of the fault-tolerant
+// training loop: the epoch whose pass produced non-finite parameters, the
+// halved learning-rate multiplier applied afterwards, and whether the model
+// was re-initialized rather than rolled back to a checkpoint.
+type Recovery = core.Recovery
+
+// ErrDiverged is returned when training produces non-finite parameters and
+// the bounded divergence recovery fails to restore a finite trajectory.
+var ErrDiverged = core.ErrDiverged
+
+// ErrCheckpointMismatch is returned by Resume when the checkpoint on disk
+// was written under a different training configuration.
+var ErrCheckpointMismatch = core.ErrCheckpointMismatch
+
 // Train fits Inf2vec (Algorithm 2 of the paper) on a social graph and the
 // training split of an action log.
 func Train(g *Graph, log *ActionLog, cfg Config) (*Model, error) {
@@ -132,22 +147,44 @@ func Train(g *Graph, log *ActionLog, cfg Config) (*Model, error) {
 	return &Model{inner: res.Model}, nil
 }
 
+// TrainContext is Train under a cancellation context: cancellation is
+// observed between epochs and at shard boundaries inside each SGD pass, so
+// hogwild workers drain cleanly. On cancellation the best-so-far model is
+// returned (use TrainWithStatsContext to observe the Canceled flag).
+func TrainContext(ctx context.Context, g *Graph, log *ActionLog, cfg Config) (*Model, error) {
+	res, err := core.TrainContext(ctx, g, log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{inner: res.Model}, nil
+}
+
 // TrainWithStats is Train, additionally returning per-epoch losses and
 // timings and the corpus shape.
 func TrainWithStats(g *Graph, log *ActionLog, cfg Config) (*Model, *TrainStats, error) {
-	res, err := core.Train(g, log, cfg)
+	return TrainWithStatsContext(context.Background(), g, log, cfg)
+}
+
+// TrainWithStatsContext is TrainWithStats under a cancellation context.
+func TrainWithStatsContext(ctx context.Context, g *Graph, log *ActionLog, cfg Config) (*Model, *TrainStats, error) {
+	res, err := core.TrainContext(ctx, g, log, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &TrainStats{
-		NumTuples:    res.NumTuples,
-		NumPositives: res.NumPositives,
+	return &Model{inner: res.Model}, newTrainStats(res), nil
+}
+
+// Resume continues a training run from the checkpoint at
+// cfg.CheckpointPath, written by a previous run with the same graph, log
+// and configuration. Single-worker resumed runs are bitwise identical to
+// uninterrupted ones. Resuming an already-finished run returns the final
+// model immediately.
+func Resume(ctx context.Context, g *Graph, log *ActionLog, cfg Config) (*Model, *TrainStats, error) {
+	res, err := core.Resume(ctx, g, log, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	for _, e := range res.Epochs {
-		stats.EpochLoss = append(stats.EpochLoss, e.Loss)
-		stats.EpochSeconds = append(stats.EpochSeconds, e.Duration.Seconds())
-	}
-	return &Model{inner: res.Model}, stats, nil
+	return &Model{inner: res.Model}, newTrainStats(res), nil
 }
 
 // TrainStats summarizes a training run.
@@ -156,6 +193,30 @@ type TrainStats struct {
 	NumPositives int64     // total context entries, |P|·L
 	EpochLoss    []float64 // mean Eq. 4 objective per positive, per pass
 	EpochSeconds []float64 // wall-clock seconds per pass
+	// StartEpoch is the first epoch this call executed: 0 for a fresh run,
+	// the checkpoint's completed-epoch count after Resume.
+	StartEpoch int
+	// Canceled reports that the run stopped early because its context was
+	// canceled; the model holds the best-so-far parameters and EpochLoss
+	// covers completed passes only.
+	Canceled bool
+	// Recoveries is the divergence-recovery history, oldest first.
+	Recoveries []Recovery
+}
+
+func newTrainStats(res *core.Result) *TrainStats {
+	stats := &TrainStats{
+		NumTuples:    res.NumTuples,
+		NumPositives: res.NumPositives,
+		StartEpoch:   res.StartEpoch,
+		Canceled:     res.Canceled,
+		Recoveries:   append([]Recovery(nil), res.Recoveries...),
+	}
+	for _, e := range res.Epochs {
+		stats.EpochLoss = append(stats.EpochLoss, e.Loss)
+		stats.EpochSeconds = append(stats.EpochSeconds, e.Duration.Seconds())
+	}
+	return stats
 }
 
 // Score returns the learned influence affinity x(u,v).

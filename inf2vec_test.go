@@ -2,7 +2,10 @@ package inf2vec
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -186,4 +189,75 @@ func TestLoadModelRejectsGarbage(t *testing.T) {
 	if _, err := LoadModel(strings.NewReader("not a model")); err == nil {
 		t.Fatal("garbage accepted")
 	}
+}
+
+func TestTrainContextCanceledBeforeStart(t *testing.T) {
+	g, log := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, stats, err := TrainWithStatsContext(ctx, g, log, Config{
+		Dim: 8, Iterations: 4, ContextLength: 10, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Canceled {
+		t.Fatal("Canceled not set for pre-canceled context")
+	}
+	if len(stats.EpochLoss) != 0 {
+		t.Fatalf("%d epochs ran under a canceled context", len(stats.EpochLoss))
+	}
+	// The untrained model must still be usable.
+	if math.IsNaN(m.Score(0, 1)) {
+		t.Fatal("canceled model scores NaN")
+	}
+}
+
+func TestResumePublicRoundTrip(t *testing.T) {
+	g, log := fixture(t)
+	cfg := Config{
+		Dim: 8, Iterations: 5, ContextLength: 10, Seed: 2,
+		CheckpointPath: filepath.Join(t.TempDir(), "train.ckpt"),
+	}
+	m1, stats1, err := TrainWithStatsContext(context.Background(), g, log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats1.EpochLoss) != 5 {
+		t.Fatalf("trained %d epochs, want 5", len(stats1.EpochLoss))
+	}
+	// Resuming the finished run must return the final model immediately.
+	m2, stats2, err := Resume(context.Background(), g, log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.StartEpoch != 5 || !equalLoss(stats1.EpochLoss, stats2.EpochLoss) {
+		t.Fatalf("resume stats %+v do not match original %+v", stats2, stats1)
+	}
+	for u := int32(0); u < 4; u++ {
+		for v := int32(0); v < 4; v++ {
+			if m1.Score(u, v) != m2.Score(u, v) {
+				t.Fatalf("score (%d,%d) changed across resume", u, v)
+			}
+		}
+	}
+
+	// A different configuration must be rejected, not silently retrained.
+	bad := cfg
+	bad.LearningRate = 0.123
+	if _, _, err := Resume(context.Background(), g, log, bad); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("config mismatch error = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func equalLoss(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -31,6 +32,10 @@ func ReadTSV(r io.Reader, numUsers int32) (*Log, error) {
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
 			return nil, fmt.Errorf("actionlog: line %d: bad user %q: %w", lineNo, fields[0], err)
+		}
+		if u == math.MaxInt32 {
+			// The inferred universe size u+1 must itself fit in an int32.
+			return nil, fmt.Errorf("actionlog: line %d: user id %d overflows the universe size", lineNo, u)
 		}
 		it, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {

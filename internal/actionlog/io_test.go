@@ -79,3 +79,9 @@ func TestTSVRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestReadTSVRejectsMaxInt32User(t *testing.T) {
+	if _, err := ReadTSV(strings.NewReader("2147483647\t0\t1\n"), 0); err == nil {
+		t.Fatal("math.MaxInt32 user id accepted (universe size overflows)")
+	}
+}

@@ -1,0 +1,309 @@
+// Package checkpoint implements durable training checkpoints for the
+// Inf2vec trainer: the embedding store plus everything needed to resume an
+// SGD run exactly where it stopped (completed-epoch counter, per-epoch
+// stats, the halving state of divergence recovery, and the full internal
+// state of every random-number generator the training loop consumes).
+//
+// The on-disk format is versioned and integrity-checked:
+//
+//	magic "I2VCKP" | version byte (1) | reserved zero byte
+//	uint64 configHash
+//	float64 lrScale
+//	int32 epochsDone | int32 retries
+//	int32 numStats   | numStats × (float64 loss, int64 durationNs)
+//	int32 numRecoveries | numRecoveries × (int32 epoch, float64 lrScale, byte reinit)
+//	[4]uint64 root RNG | [4]uint64 order RNG
+//	int32 numWorkers | numWorkers × [4]uint64 worker RNG
+//	int64 storeLen | store bytes (internal/embed format)
+//	uint32 CRC-32 (IEEE) of every preceding byte
+//
+// all little-endian. Writes are atomic: the state is written to a temporary
+// file in the destination directory, fsynced, and renamed over the target,
+// so a crash mid-write can never leave a half-written checkpoint under the
+// configured path. Loads verify the CRC before trusting any field, so a
+// truncated or bit-flipped file is rejected with ErrBadFormat rather than
+// resuming from silently-wrong parameters.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"inf2vec/internal/embed"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+var magic = [6]byte{'I', '2', 'V', 'C', 'K', 'P'}
+
+// ErrBadFormat is returned by Load when the input is not a checkpoint
+// written by Save: wrong magic, unsupported version, truncated body,
+// CRC mismatch, or out-of-range counts.
+var ErrBadFormat = errors.New("checkpoint: not a valid checkpoint file")
+
+// Recovery records one divergence-recovery event of the training loop.
+type Recovery struct {
+	// Epoch is the zero-based epoch whose pass produced non-finite
+	// parameters or loss.
+	Epoch int
+	// LRScale is the global learning-rate multiplier after halving.
+	LRScale float64
+	// Reinit reports whether the store was re-initialized from scratch
+	// (no rollback snapshot existed) rather than rolled back.
+	Reinit bool
+}
+
+// State is everything the trainer needs to resume a run exactly.
+type State struct {
+	// ConfigHash fingerprints the training configuration; Resume refuses a
+	// checkpoint whose hash does not match the caller's config.
+	ConfigHash uint64
+	// LRScale is the current divergence-recovery learning-rate multiplier.
+	LRScale float64
+	// EpochsDone counts completed SGD passes.
+	EpochsDone int
+	// Retries counts divergence recoveries consumed so far.
+	Retries int
+	// EpochLoss and EpochNanos record per-completed-epoch stats.
+	EpochLoss  []float64
+	EpochNanos []int64
+	// Recoveries is the divergence-recovery history.
+	Recoveries []Recovery
+	// Root, Order and Workers are the captured RNG states (xoshiro256**).
+	Root    [4]uint64
+	Order   [4]uint64
+	Workers [][4]uint64
+	// Store holds the model parameters at the epoch boundary.
+	Store *embed.Store
+}
+
+// sanity bounds for count fields, far above any real training run; they
+// exist so a corrupt-but-CRC-colliding file cannot demand huge allocations.
+const (
+	maxStats      = 1 << 24
+	maxRecoveries = 1 << 20
+	maxWorkers    = 1 << 20
+)
+
+// Save writes the state to w in the package binary format, including the
+// CRC trailer. Most callers want SaveFile for atomicity.
+func Save(w io.Writer, st *State) error {
+	if st.Store == nil {
+		return fmt.Errorf("checkpoint: save: nil store")
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	hdr := [8]byte{magic[0], magic[1], magic[2], magic[3], magic[4], magic[5], Version, 0}
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	le := func(v any) error { return binary.Write(mw, binary.LittleEndian, v) }
+	fields := []any{
+		st.ConfigHash,
+		st.LRScale,
+		int32(st.EpochsDone),
+		int32(st.Retries),
+		int32(len(st.EpochLoss)),
+	}
+	for _, f := range fields {
+		if err := le(f); err != nil {
+			return fmt.Errorf("checkpoint: save: %w", err)
+		}
+	}
+	for i, loss := range st.EpochLoss {
+		if err := le(loss); err != nil {
+			return fmt.Errorf("checkpoint: save: %w", err)
+		}
+		var ns int64
+		if i < len(st.EpochNanos) {
+			ns = st.EpochNanos[i]
+		}
+		if err := le(ns); err != nil {
+			return fmt.Errorf("checkpoint: save: %w", err)
+		}
+	}
+	if err := le(int32(len(st.Recoveries))); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	for _, rec := range st.Recoveries {
+		reinit := byte(0)
+		if rec.Reinit {
+			reinit = 1
+		}
+		for _, f := range []any{int32(rec.Epoch), rec.LRScale, reinit} {
+			if err := le(f); err != nil {
+				return fmt.Errorf("checkpoint: save: %w", err)
+			}
+		}
+	}
+	for _, f := range []any{st.Root, st.Order, int32(len(st.Workers))} {
+		if err := le(f); err != nil {
+			return fmt.Errorf("checkpoint: save: %w", err)
+		}
+	}
+	for _, ws := range st.Workers {
+		if err := le(ws); err != nil {
+			return fmt.Errorf("checkpoint: save: %w", err)
+		}
+	}
+	if err := le(st.Store.SaveSize()); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := st.Store.Save(mw); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile atomically writes the state to path: the bytes land in a
+// temporary file in the same directory, are fsynced, and the file is
+// renamed over path. Readers therefore observe either the previous
+// checkpoint or the complete new one, never a torn write.
+func SaveFile(path string, st *State) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Save(tmp, st); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: save: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	// Persist the rename itself; best effort — some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads a checkpoint written by Save, verifying the CRC trailer before
+// parsing any field.
+func Load(r io.Reader) (*State, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading: %v", ErrBadFormat, err)
+	}
+	if len(raw) < 8+4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrBadFormat, len(raw))
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrBadFormat, want, got)
+	}
+	br := bytes.NewReader(body)
+
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if [6]byte(hdr[:6]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:6])
+	}
+	if hdr[6] != Version || hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, hdr[6])
+	}
+	le := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	st := &State{}
+	var epochsDone, retries, numStats int32
+	for _, f := range []any{&st.ConfigHash, &st.LRScale, &epochsDone, &retries, &numStats} {
+		if err := le(f); err != nil {
+			return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+		}
+	}
+	if epochsDone < 0 || retries < 0 || numStats < 0 || numStats > maxStats {
+		return nil, fmt.Errorf("%w: implausible counters %d/%d/%d", ErrBadFormat, epochsDone, retries, numStats)
+	}
+	st.EpochsDone, st.Retries = int(epochsDone), int(retries)
+	st.EpochLoss = make([]float64, numStats)
+	st.EpochNanos = make([]int64, numStats)
+	for i := range st.EpochLoss {
+		if err := le(&st.EpochLoss[i]); err != nil {
+			return nil, fmt.Errorf("%w: reading stats: %v", ErrBadFormat, err)
+		}
+		if err := le(&st.EpochNanos[i]); err != nil {
+			return nil, fmt.Errorf("%w: reading stats: %v", ErrBadFormat, err)
+		}
+	}
+	var numRec int32
+	if err := le(&numRec); err != nil {
+		return nil, fmt.Errorf("%w: reading recoveries: %v", ErrBadFormat, err)
+	}
+	if numRec < 0 || numRec > maxRecoveries {
+		return nil, fmt.Errorf("%w: implausible recovery count %d", ErrBadFormat, numRec)
+	}
+	st.Recoveries = make([]Recovery, numRec)
+	for i := range st.Recoveries {
+		var epoch int32
+		var reinit byte
+		for _, f := range []any{&epoch, &st.Recoveries[i].LRScale, &reinit} {
+			if err := le(f); err != nil {
+				return nil, fmt.Errorf("%w: reading recoveries: %v", ErrBadFormat, err)
+			}
+		}
+		st.Recoveries[i].Epoch = int(epoch)
+		st.Recoveries[i].Reinit = reinit != 0
+	}
+	var numWorkers int32
+	for _, f := range []any{&st.Root, &st.Order, &numWorkers} {
+		if err := le(f); err != nil {
+			return nil, fmt.Errorf("%w: reading RNG states: %v", ErrBadFormat, err)
+		}
+	}
+	if numWorkers < 0 || numWorkers > maxWorkers {
+		return nil, fmt.Errorf("%w: implausible worker count %d", ErrBadFormat, numWorkers)
+	}
+	st.Workers = make([][4]uint64, numWorkers)
+	for i := range st.Workers {
+		if err := le(&st.Workers[i]); err != nil {
+			return nil, fmt.Errorf("%w: reading RNG states: %v", ErrBadFormat, err)
+		}
+	}
+	var storeLen int64
+	if err := le(&storeLen); err != nil {
+		return nil, fmt.Errorf("%w: reading store length: %v", ErrBadFormat, err)
+	}
+	if storeLen < 0 || storeLen != int64(br.Len()) {
+		return nil, fmt.Errorf("%w: store section %d bytes, %d remain", ErrBadFormat, storeLen, br.Len())
+	}
+	store, err := embed.Load(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: store section: %v", ErrBadFormat, err)
+	}
+	st.Store = store
+	return st, nil
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 )
 
 // Config collects Inf2vec's hyperparameters. Zero values select the paper's
@@ -69,6 +70,25 @@ type Config struct {
 	Workers int
 	// Seed drives every random choice (init, walks, sampling, shuffles).
 	Seed uint64
+
+	// CheckpointPath, when non-empty, enables durable checkpointing: every
+	// CheckpointEvery completed epochs the embedding store and the full
+	// training state (RNG streams, epoch counter, stats, recovery history)
+	// are written atomically to this path, and Resume continues a run from
+	// it. A final checkpoint is also flushed when training completes or is
+	// canceled at an epoch boundary.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint interval in completed epochs. Zero
+	// defaults to 1 when CheckpointPath is set. When CheckpointPath is
+	// empty, a positive CheckpointEvery still maintains the in-memory
+	// rollback snapshot used by divergence recovery.
+	CheckpointEvery int
+	// MaxDivergenceRetries bounds divergence recovery: after each epoch the
+	// loss and a strided sample of parameters are checked for NaN/±Inf; on
+	// divergence the trainer rolls back to the last checkpoint snapshot (or
+	// re-initializes when none exists), halves the learning rate, and
+	// retries. Zero selects the default of 3; negative disables detection.
+	MaxDivergenceRetries int
 }
 
 // ErrBadConfig is returned when a configuration field is out of range.
@@ -101,6 +121,12 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
+	if cfg.CheckpointEvery == 0 && cfg.CheckpointPath != "" {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.MaxDivergenceRetries == 0 {
+		cfg.MaxDivergenceRetries = 3
+	}
 
 	switch {
 	case cfg.Dim < 0:
@@ -121,6 +147,23 @@ func (cfg Config) withDefaults() (Config, error) {
 		return cfg, fmt.Errorf("%w: NegativePower %v outside [0,1]", ErrBadConfig, cfg.NegativePower)
 	case cfg.Workers < 0:
 		return cfg, fmt.Errorf("%w: Workers %d", ErrBadConfig, cfg.Workers)
+	case cfg.CheckpointEvery < 0:
+		return cfg, fmt.Errorf("%w: CheckpointEvery %d", ErrBadConfig, cfg.CheckpointEvery)
 	}
 	return cfg, nil
+}
+
+// hash fingerprints every field that shapes the training trajectory, so a
+// checkpoint can refuse to resume under a different configuration. The
+// checkpointing knobs themselves (path, interval, retry bound) are excluded:
+// changing where or how often to checkpoint does not change the run.
+func (cfg Config) hash() uint64 {
+	canonical := fmt.Sprintf("dim=%d len=%d alpha=%g restart=%g lr=%g decay=%t neg=%d iters=%d negpow=%g nobias=%t regen=%t firstorder=%t workers=%d seed=%d",
+		cfg.Dim, cfg.ContextLength, cfg.Alpha, cfg.RestartRatio,
+		cfg.LearningRate, cfg.DecayLearningRate, cfg.NegativeSamples,
+		cfg.Iterations, cfg.NegativePower, cfg.DisableBiases,
+		cfg.RegenerateContexts, cfg.FirstOrderOnly, cfg.Workers, cfg.Seed)
+	h := fnv.New64a()
+	h.Write([]byte(canonical))
+	return h.Sum64()
 }

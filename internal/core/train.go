@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"inf2vec/internal/actionlog"
+	"inf2vec/internal/checkpoint"
 	"inf2vec/internal/embed"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
@@ -33,27 +37,67 @@ type EpochStat struct {
 	Duration time.Duration
 }
 
+// Recovery records one divergence-recovery event: the epoch whose pass
+// produced non-finite parameters, the halved learning-rate multiplier
+// applied afterwards, and whether the store was re-initialized (no rollback
+// snapshot existed) rather than rolled back.
+type Recovery = checkpoint.Recovery
+
+// ErrDiverged is returned when training produces non-finite parameters and
+// the bounded divergence recovery (rollback + learning-rate halving) fails
+// to restore a finite trajectory.
+var ErrDiverged = errors.New("core: training diverged and exhausted recovery retries")
+
+// ErrCheckpointMismatch is returned by Resume when the checkpoint on disk
+// was written under a different training configuration (or an incompatible
+// worker count) than the one supplied.
+var ErrCheckpointMismatch = errors.New("core: checkpoint does not match the training configuration")
+
 // Result is the outcome of Train.
 type Result struct {
 	Model *Model
 	// ContextGeneration is the wall-clock time of Algorithm 2 lines 3–8.
 	ContextGeneration time.Duration
-	// Epochs has one entry per SGD pass.
+	// Epochs has one entry per completed SGD pass, including passes
+	// replayed from a resumed checkpoint.
 	Epochs []EpochStat
 	// NumTuples and NumPositives describe the generated corpus (|P| and
 	// |P|·L in the paper's complexity analysis).
 	NumTuples    int
 	NumPositives int64
+	// StartEpoch is the first epoch this call actually executed: 0 for a
+	// fresh run, the checkpoint's completed-epoch count after Resume.
+	StartEpoch int
+	// Canceled reports that the context was canceled before the configured
+	// iterations completed. The model holds the best-so-far parameters
+	// (every completed epoch, plus any partial pass that was draining when
+	// cancellation hit); Epochs records completed passes only.
+	Canceled bool
+	// Recoveries is the divergence-recovery history, oldest first.
+	Recoveries []Recovery
 
 	// regen redraws the corpus for RegenerateContexts training; nil when
 	// the caller supplied the corpus directly (TrainOnCorpus).
 	regen func(r *rng.RNG) *Corpus
 }
 
+// testAfterEpoch, when non-nil, is invoked after every completed epoch with
+// the number of completed epochs and the live store. Tests use it to inject
+// faults (e.g. NaN parameters) at epoch boundaries.
+var testAfterEpoch func(epochsDone int, store *embed.Store)
+
 // Train runs Algorithm 2: generate the influence-context corpus, then fit
 // the embeddings by negative-sampling SGD. The provided log must be the
 // training split.
 func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
+	return TrainContext(context.Background(), g, log, cfg)
+}
+
+// TrainContext is Train under a cancellation context. Cancellation is
+// observed between epochs and at shard boundaries inside each pass, so
+// hogwild workers drain cleanly; on cancellation the best-so-far model is
+// returned with Result.Canceled set rather than an error.
+func TrainContext(ctx context.Context, g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -71,7 +115,45 @@ func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	if cfg.RegenerateContexts {
 		regen = func(r *rng.RNG) *Corpus { return GenerateCorpus(g, log, cfg, r) }
 	}
-	return trainOnCorpus(log.NumUsers(), corpus, cfg, root, ctxTime, regen)
+	return trainOnCorpus(ctx, log.NumUsers(), corpus, cfg, root, ctxTime, regen, nil)
+}
+
+// Resume continues a training run from the checkpoint at
+// cfg.CheckpointPath. The graph, log and configuration must match the
+// original run (enforced via a configuration fingerprint stored in the
+// checkpoint); the corpus is regenerated deterministically from the seed,
+// the store and every RNG stream are restored from the checkpoint, and
+// training continues from the recorded epoch. Resuming a run that already
+// completed returns the final model immediately.
+func Resume(ctx context.Context, g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("%w: Resume needs Config.CheckpointPath", ErrBadConfig)
+	}
+	if g.NumNodes() < log.NumUsers() {
+		return nil, fmt.Errorf("core: graph has %d nodes but log speaks of %d users", g.NumNodes(), log.NumUsers())
+	}
+	st, err := checkpoint.LoadFile(cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	if st.ConfigHash != cfg.hash() {
+		return nil, fmt.Errorf("%w: %s was written under different hyperparameters", ErrCheckpointMismatch, cfg.CheckpointPath)
+	}
+	root := rng.New(cfg.Seed)
+
+	start := time.Now()
+	corpus := GenerateCorpus(g, log, cfg, root.Split())
+	ctxTime := time.Since(start)
+
+	var regen func(r *rng.RNG) *Corpus
+	if cfg.RegenerateContexts {
+		regen = func(r *rng.RNG) *Corpus { return GenerateCorpus(g, log, cfg, r) }
+	}
+	return trainOnCorpus(ctx, log.NumUsers(), corpus, cfg, root, ctxTime, regen, st)
 }
 
 // TrainOnCorpus fits the embeddings to an already-generated corpus. It is
@@ -86,11 +168,13 @@ func TrainOnCorpus(numUsers int32, corpus *Corpus, cfg Config) (*Result, error) 
 	if int32(len(corpus.ContextFreq)) != numUsers {
 		return nil, fmt.Errorf("core: corpus frequency table covers %d users, want %d", len(corpus.ContextFreq), numUsers)
 	}
-	return trainOnCorpus(numUsers, corpus, cfg, rng.New(cfg.Seed), 0, nil)
+	return trainOnCorpus(context.Background(), numUsers, corpus, cfg, rng.New(cfg.Seed), 0, nil, nil)
 }
 
-// trainOnCorpus is the shared SGD phase of Algorithm 2 (lines 9–17).
-func trainOnCorpus(numUsers int32, corpus *Corpus, cfg Config, root *rng.RNG, ctxTime time.Duration, regen func(*rng.RNG) *Corpus) (*Result, error) {
+// trainOnCorpus is the shared SGD phase of Algorithm 2 (lines 9–17),
+// wrapped in the fault-tolerance layer: cooperative cancellation, periodic
+// atomic checkpoints, and divergence detection with rollback recovery.
+func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Config, root *rng.RNG, ctxTime time.Duration, regen func(*rng.RNG) *Corpus, resume *checkpoint.State) (*Result, error) {
 	store, err := embed.New(numUsers, cfg.Dim)
 	if err != nil {
 		return nil, err
@@ -118,25 +202,181 @@ func trainOnCorpus(numUsers int32, corpus *Corpus, cfg Config, root *rng.RNG, ct
 
 	workerRNGs := makeWorkerRNGs(cfg, len(corpus.Tuples), root)
 	orderRNG := root.Split()
-	for epoch := 0; epoch < cfg.Iterations; epoch++ {
-		if cfg.RegenerateContexts && epoch > 0 && res.regen != nil {
-			corpus = res.regen(root.Split())
-			var nerr error
-			neg, nerr = rng.NewUnigramTable(corpus.ContextFreq, cfg.NegativePower)
-			if nerr != nil {
-				return nil, fmt.Errorf("core: rebuilding negative-sampling table: %w", nerr)
+	baseCorpus, baseNeg := corpus, neg
+	cfgHash := cfg.hash()
+
+	epoch := 0      // completed epochs; invariant: len(res.Epochs) == epoch
+	lrScale := 1.0  // divergence-recovery multiplier on the step size
+	retries := 0    // divergence recoveries consumed
+	var snap *checkpoint.State // in-memory mirror of the last checkpoint
+
+	if resume != nil {
+		if resume.Store == nil || resume.Store.NumUsers() != numUsers || resume.Store.Dim() != cfg.Dim {
+			return nil, fmt.Errorf("%w: checkpoint store shape does not fit %d users x K=%d", ErrCheckpointMismatch, numUsers, cfg.Dim)
+		}
+		if len(resume.Workers) != len(workerRNGs) {
+			return nil, fmt.Errorf("%w: checkpoint has %d worker streams, this run uses %d (race-detector builds force 1)", ErrCheckpointMismatch, len(resume.Workers), len(workerRNGs))
+		}
+		if err := store.CopyFrom(resume.Store); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCheckpointMismatch, err)
+		}
+		root.SetState(resume.Root)
+		orderRNG.SetState(resume.Order)
+		for i := range workerRNGs {
+			workerRNGs[i].SetState(resume.Workers[i])
+		}
+		epoch = resume.EpochsDone
+		lrScale = resume.LRScale
+		retries = resume.Retries
+		res.StartEpoch = epoch
+		res.Recoveries = append(res.Recoveries, resume.Recoveries...)
+		for i := range resume.EpochLoss {
+			res.Epochs = append(res.Epochs, EpochStat{Loss: resume.EpochLoss[i], Duration: time.Duration(resume.EpochNanos[i])})
+		}
+		snap = resume
+		snap.Store = store.Clone()
+	}
+
+	// capture assembles the current training state; the store is shared, so
+	// callers writing to disk can stream it and callers keeping a rollback
+	// snapshot clone it.
+	capture := func() *checkpoint.State {
+		st := &checkpoint.State{
+			ConfigHash: cfgHash,
+			LRScale:    lrScale,
+			EpochsDone: epoch,
+			Retries:    retries,
+			EpochLoss:  make([]float64, len(res.Epochs)),
+			EpochNanos: make([]int64, len(res.Epochs)),
+			Recoveries: append([]Recovery(nil), res.Recoveries...),
+			Root:       root.State(),
+			Order:      orderRNG.State(),
+			Workers:    make([][4]uint64, len(workerRNGs)),
+			Store:      store,
+		}
+		for i, e := range res.Epochs {
+			st.EpochLoss[i] = e.Loss
+			st.EpochNanos[i] = int64(e.Duration)
+		}
+		for i, w := range workerRNGs {
+			st.Workers[i] = w.State()
+		}
+		return st
+	}
+	// sync writes a durable checkpoint (when configured) and refreshes the
+	// in-memory rollback snapshot. Only called at healthy epoch boundaries.
+	sync := func() error {
+		st := capture()
+		if cfg.CheckpointPath != "" {
+			if err := checkpoint.SaveFile(cfg.CheckpointPath, st); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+		st.Store = store.Clone()
+		snap = st
+		return nil
+	}
+	// rollback restores the last snapshot; the halved lrScale and consumed
+	// retry deliberately survive it.
+	rollback := func(s *checkpoint.State) {
+		store.CopyFrom(s.Store)
+		root.SetState(s.Root)
+		orderRNG.SetState(s.Order)
+		for i := range workerRNGs {
+			workerRNGs[i].SetState(s.Workers[i])
+		}
+		epoch = s.EpochsDone
+		res.Epochs = res.Epochs[:epoch]
+	}
+
+	done := ctx.Done()
+	for epoch < cfg.Iterations {
+		if ctx.Err() != nil {
+			// Caught at an epoch boundary: the store is consistent, so a
+			// final checkpoint preserves all completed progress.
+			res.Canceled = true
+			if cfg.CheckpointPath != "" && epoch > 0 {
+				if err := sync(); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}
+		if cfg.RegenerateContexts && res.regen != nil {
+			if epoch > 0 {
+				corpus = res.regen(root.Split())
+				var nerr error
+				neg, nerr = rng.NewUnigramTable(corpus.ContextFreq, cfg.NegativePower)
+				if nerr != nil {
+					return nil, fmt.Errorf("core: rebuilding negative-sampling table: %w", nerr)
+				}
+			} else if corpus != baseCorpus {
+				// Rolled back (or re-initialized) to epoch 0: epoch 0 trains
+				// on the original draw, not the last regenerated one.
+				corpus, neg = baseCorpus, baseNeg
 			}
 		}
 		order := orderRNG.Perm(len(corpus.Tuples))
 		t0 := time.Now()
-		totalLoss, totalPos := runEpoch(store, corpus.Tuples, order, neg, cfg, epochGamma(cfg, epoch), workerRNGs)
+		totalLoss, totalPos := runEpoch(done, store, corpus.Tuples, order, neg, cfg, gammaAt(cfg, epoch, lrScale), workerRNGs)
+		if ctx.Err() != nil {
+			// Canceled mid-pass: workers drained early, the store holds a
+			// usable partial update but not an epoch boundary, so the pass
+			// is neither recorded nor checkpointed.
+			res.Canceled = true
+			return res, nil
+		}
 		stat := EpochStat{Duration: time.Since(t0)}
 		if totalPos > 0 {
 			stat.Loss = totalLoss / float64(totalPos)
 		}
 		res.Epochs = append(res.Epochs, stat)
+		epoch++
+		if testAfterEpoch != nil {
+			testAfterEpoch(epoch, store)
+		}
+		if cfg.MaxDivergenceRetries >= 0 && diverged(stat.Loss, store) {
+			if retries >= cfg.MaxDivergenceRetries {
+				return nil, fmt.Errorf("%w: non-finite parameters after epoch %d (%d recoveries attempted)", ErrDiverged, epoch-1, retries)
+			}
+			retries++
+			lrScale /= 2
+			res.Recoveries = append(res.Recoveries, Recovery{Epoch: epoch - 1, LRScale: lrScale, Reinit: snap == nil})
+			if snap != nil {
+				rollback(snap)
+			} else {
+				// No checkpoint to return to: re-initialize and restart the
+				// epoch count at the reduced step size.
+				store.Init(root.Split())
+				epoch = 0
+				res.Epochs = res.Epochs[:0]
+			}
+			continue
+		}
+		if cfg.CheckpointEvery > 0 && (epoch%cfg.CheckpointEvery == 0 || epoch == cfg.Iterations) {
+			if err := sync(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return res, nil
+}
+
+// diverged reports whether the epoch left the model in a non-finite state:
+// a NaN/Inf mean loss, or NaN/Inf in a strided sample of the parameters
+// (the loss sums over every touched row, so the probe is a second line of
+// defense for corners the pass did not visit).
+func diverged(loss float64, store *embed.Store) bool {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		return true
+	}
+	return store.SampleNonFinite(4096)
+}
+
+// gammaAt returns the step size for one pass: the configured (optionally
+// decayed) rate scaled by the divergence-recovery multiplier.
+func gammaAt(cfg Config, epoch int, lrScale float64) float32 {
+	return float32(float64(epochGamma(cfg, epoch)) * lrScale)
 }
 
 // epochGamma returns the step size for one pass under the optional linear
@@ -171,10 +411,11 @@ func makeWorkerRNGs(cfg Config, numTuples int, root *rng.RNG) []*rng.RNG {
 }
 
 // runEpoch executes one SGD pass, sharded across the worker generators.
-func runEpoch(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, workerRNGs []*rng.RNG) (totalLoss float64, totalPos int64) {
+// A close of done stops every shard at its next cancellation check.
+func runEpoch(done <-chan struct{}, store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, workerRNGs []*rng.RNG) (totalLoss float64, totalPos int64) {
 	workers := len(workerRNGs)
 	if workers == 1 {
-		return sgdPass(store, tuples, order, neg, cfg, gamma, workerRNGs[0])
+		return sgdPass(done, store, tuples, order, neg, cfg, gamma, workerRNGs[0])
 	}
 	// Hogwild: shards update the shared store without locks. Lost updates
 	// on colliding rows are rare and benign for SGD; results are
@@ -195,7 +436,7 @@ func runEpoch(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramT
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			losses[w], counts[w] = sgdPass(store, tuples, order[lo:hi], neg, cfg, gamma, workerRNGs[w])
+			losses[w], counts[w] = sgdPass(done, store, tuples, order[lo:hi], neg, cfg, gamma, workerRNGs[w])
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -206,14 +447,27 @@ func runEpoch(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramT
 	return totalLoss, totalPos
 }
 
+// cancelCheckInterval is how many tuples each shard processes between
+// cancellation checks: frequent enough that Ctrl-C feels immediate, cheap
+// enough (one channel poll per 256 tuples) to be invisible in profiles.
+const cancelCheckInterval = 256
+
 // sgdPass performs one pass over the tuples selected by order at step size
 // gamma, applying the Eq. 5/6 updates, and returns the summed Eq. 4
-// objective and the number of positives processed.
-func sgdPass(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, r *rng.RNG) (loss float64, positives int64) {
+// objective and the number of positives processed. It returns early (with
+// the partial sums) when done is closed.
+func sgdPass(done <-chan struct{}, store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, r *rng.RNG) (loss float64, positives int64) {
 	k := store.Dim()
 	srcGrad := make([]float32, k) // accumulated update for S_u across one positive + its negatives
 
-	for _, ti := range order {
+	for idx, ti := range order {
+		if done != nil && idx%cancelCheckInterval == 0 {
+			select {
+			case <-done:
+				return loss, positives
+			default:
+			}
+		}
 		t := &tuples[ti]
 		u := t.Center
 		su := store.SourceVec(u)
@@ -227,8 +481,8 @@ func sgdPass(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTa
 
 			// Negative examples: label 0, coefficient (0 - σ(z_w)).
 			for s := 0; s < cfg.NegativeSamples; s++ {
-				w := neg.Sample(r)
-				if w == v || w == u {
+				w, ok := sampleNegative(neg, r, u, v)
+				if !ok {
 					continue
 				}
 				loss += applyExample(store, su, bu, u, w, 0, gamma, srcGrad, cfg)
@@ -237,6 +491,24 @@ func sgdPass(store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTa
 		}
 	}
 	return loss, positives
+}
+
+// maxNegativeDraws bounds sampleNegative's rejection loop.
+const maxNegativeDraws = 8
+
+// sampleNegative draws a negative example for the positive pair (u,v),
+// resampling when the table returns the center or the positive user itself.
+// Skipping such collisions outright (the old behavior) silently trained
+// tuples near high-frequency users on fewer than cfg.NegativeSamples
+// negatives; bounded resampling keeps the count honest without risking an
+// unbounded loop on degenerate (near-single-user) tables.
+func sampleNegative(neg *rng.UnigramTable, r *rng.RNG, u, v int32) (int32, bool) {
+	for i := 0; i < maxNegativeDraws; i++ {
+		if w := neg.Sample(r); w != v && w != u {
+			return w, true
+		}
+	}
+	return 0, false
 }
 
 // applyExample performs the shared positive/negative update for pair (u,x)

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"inf2vec/internal/rng"
 	"inf2vec/internal/vecmath"
@@ -111,24 +112,84 @@ func (s *Store) Concat(u int32) []float32 {
 	return out
 }
 
+// SampleNonFinite reports whether a strided sample of up to maxPerBlock
+// coordinates per parameter block contains NaN or ±Inf. A full scan per
+// epoch would be wasteful at production scale; non-finite values spread
+// across whole rows within one SGD pass, so a strided probe catches real
+// divergence reliably.
+func (s *Store) SampleNonFinite(maxPerBlock int) bool {
+	if maxPerBlock < 1 {
+		maxPerBlock = 1
+	}
+	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
+		stride := len(block)/maxPerBlock + 1
+		for i := 0; i < len(block); i += stride {
+			if f := float64(block[i]); math.IsNaN(f) || math.IsInf(f, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the store. Used for in-memory rollback
+// snapshots during divergence recovery.
+func (s *Store) Clone() *Store {
+	return &Store{
+		n:      s.n,
+		k:      s.k,
+		source: append([]float32(nil), s.source...),
+		target: append([]float32(nil), s.target...),
+		biasS:  append([]float32(nil), s.biasS...),
+		biasT:  append([]float32(nil), s.biasT...),
+	}
+}
+
+// CopyFrom overwrites every parameter of s with the values from src. The two
+// stores must have identical shape.
+func (s *Store) CopyFrom(src *Store) error {
+	if s.n != src.n || s.k != src.k {
+		return fmt.Errorf("embed: copy shape mismatch: %dx%d vs %dx%d", s.n, s.k, src.n, src.k)
+	}
+	copy(s.source, src.source)
+	copy(s.target, src.target)
+	copy(s.biasS, src.biasS)
+	copy(s.biasT, src.biasT)
+	return nil
+}
+
 // Binary persistence. The format is versioned and endianness-fixed:
 //
-//	magic "I2VEMB\x01\x00" | int32 n | int32 k | source | target | biasS | biasT
+//	magic "I2VEMB" | version byte (1) | reserved zero byte |
+//	int32 n | int32 k | source | target | biasS | biasT
 //
-// with all floats little-endian float32.
-var storeMagic = [8]byte{'I', '2', 'V', 'E', 'M', 'B', 1, 0}
+// with all floats little-endian float32. The explicit version byte lets the
+// model format and the checkpoint format (which embeds a store section)
+// evolve independently.
+var storeMagic = [6]byte{'I', '2', 'V', 'E', 'M', 'B'}
+
+// storeVersion is the current format version written by Save.
+const storeVersion = 1
 
 // ErrBadFormat is returned by Load when the input is not a store written by
-// Save (wrong magic, bad header, or truncated body).
+// Save (wrong magic, unsupported version, bad header, truncated body, or
+// trailing garbage).
 var ErrBadFormat = errors.New("embed: not a valid embedding store file")
+
+// SaveSize returns the exact number of bytes Save will write, so containers
+// (checkpoints) can frame the store section without buffering it.
+func (s *Store) SaveSize() int64 {
+	return 8 + 8 + 4*(2*int64(s.n)*int64(s.k)+2*int64(s.n))
+}
 
 // Save writes the store to w in the package binary format.
 func (s *Store) Save(w io.Writer) error {
-	if _, err := w.Write(storeMagic[:]); err != nil {
+	hdr := [8]byte{storeMagic[0], storeMagic[1], storeMagic[2], storeMagic[3], storeMagic[4], storeMagic[5], storeVersion, 0}
+	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("embed: save: %w", err)
 	}
-	hdr := [2]int32{s.n, int32(s.k)}
-	if err := binary.Write(w, binary.LittleEndian, hdr[:]); err != nil {
+	shape := [2]int32{s.n, int32(s.k)}
+	if err := binary.Write(w, binary.LittleEndian, shape[:]); err != nil {
 		return fmt.Errorf("embed: save: %w", err)
 	}
 	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
@@ -139,32 +200,85 @@ func (s *Store) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a store written by Save.
+// Load reads a store written by Save, consuming r exactly: any bytes after
+// the body are rejected as trailing garbage. Use LoadFrom when the store is
+// embedded inside a larger stream.
 func Load(r io.Reader) (*Store, error) {
-	var magic [8]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
-	}
-	if magic != storeMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
-	}
-	var hdr [2]int32
-	if err := binary.Read(r, binary.LittleEndian, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
-	}
-	// Guard against corrupt headers demanding absurd allocations before
-	// touching the allocator (2^31 float32 coordinates = 8 GiB).
-	if hdr[0] > 0 && hdr[1] > 0 && int64(hdr[0])*int64(hdr[1]) > 1<<31 {
-		return nil, fmt.Errorf("%w: implausible shape %d x %d", ErrBadFormat, hdr[0], hdr[1])
-	}
-	s, err := New(hdr[0], int(hdr[1]))
+	s, err := LoadFrom(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		return nil, err
 	}
-	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
-		if err := binary.Read(r, binary.LittleEndian, block); err != nil {
-			return nil, fmt.Errorf("%w: reading body: %v", ErrBadFormat, err)
-		}
+	var trail [1]byte
+	if n, err := io.ReadFull(r, trail[:]); n != 0 || err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing garbage after body", ErrBadFormat)
 	}
 	return s, nil
+}
+
+// LoadFrom reads exactly one store from r, leaving any following bytes
+// unread. Allocation is read-driven: a truncated or corrupt header can never
+// demand more memory than the stream actually delivers.
+func LoadFrom(r io.Reader) (*Store, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if [6]byte(hdr[:6]) != storeMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:6])
+	}
+	if hdr[6] != storeVersion || hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, hdr[6])
+	}
+	var shape [2]int32
+	if err := binary.Read(r, binary.LittleEndian, shape[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	n, k := shape[0], int(shape[1])
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("%w: bad shape %d x %d", ErrBadFormat, n, k)
+	}
+	if int64(n)*int64(k) > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible shape %d x %d", ErrBadFormat, n, k)
+	}
+	s := &Store{n: n, k: k}
+	var err error
+	if s.source, err = readFloatBlock(r, int64(n)*int64(k)); err != nil {
+		return nil, err
+	}
+	if s.target, err = readFloatBlock(r, int64(n)*int64(k)); err != nil {
+		return nil, err
+	}
+	if s.biasS, err = readFloatBlock(r, int64(n)); err != nil {
+		return nil, err
+	}
+	if s.biasT, err = readFloatBlock(r, int64(n)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// readFloatBlock reads n little-endian float32s, growing the destination as
+// bytes arrive (bounded chunks) so a short body fails before any large
+// allocation.
+func readFloatBlock(r io.Reader, n int64) ([]float32, error) {
+	const chunk = 1 << 16 // floats per read: 256 KiB
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]float32, 0, first)
+	buf := make([]byte, 4*chunk)
+	for int64(len(out)) < n {
+		want := n - int64(len(out))
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:4*want]); err != nil {
+			return nil, fmt.Errorf("%w: reading body: %v", ErrBadFormat, err)
+		}
+		for i := int64(0); i < want; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
 }

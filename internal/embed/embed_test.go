@@ -193,3 +193,87 @@ func TestLoadRejectsImplausibleShape(t *testing.T) {
 		t.Errorf("implausible shape: err = %v, want ErrBadFormat", err)
 	}
 }
+
+func TestLoadRejectsTrailingGarbage(t *testing.T) {
+	s, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(4))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xAB)
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("trailing garbage: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadRejectsUnsupportedVersion(t *testing.T) {
+	s, err := New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] = 99 // future format version
+	if _, err := Load(bytes.NewReader(raw)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("future version: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestLoadFromLeavesTrailingBytes(t *testing.T) {
+	s, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(2))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(buf.Len()); got != s.SaveSize() {
+		t.Fatalf("SaveSize = %d, actual save wrote %d", s.SaveSize(), got)
+	}
+	buf.WriteString("suffix")
+	s2, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumUsers() != 4 || s2.Dim() != 3 {
+		t.Fatalf("loaded shape %d/%d", s2.NumUsers(), s2.Dim())
+	}
+	if buf.String() != "suffix" {
+		t.Fatalf("LoadFrom consumed trailing bytes, remainder %q", buf.String())
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	s, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(7))
+	c := s.Clone()
+	c.SourceVec(0)[0] = 123
+	if s.SourceVec(0)[0] == 123 {
+		t.Fatal("Clone shares storage")
+	}
+	if err := s.CopyFrom(c); err != nil {
+		t.Fatal(err)
+	}
+	if s.SourceVec(0)[0] != 123 {
+		t.Fatal("CopyFrom did not copy")
+	}
+	other, err := New(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CopyFrom(other); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package embed
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"inf2vec/internal/rng"
+)
+
+// FuzzLoad asserts the store loader never panics and never allocates more
+// than the input can justify, and that every accepted store is usable.
+// Regression seeds (valid stores, truncations, version/shape corruption)
+// live in testdata/fuzz/FuzzLoad.
+func FuzzLoad(f *testing.F) {
+	valid := func(n int32, k int) []byte {
+		s, err := New(n, k)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Init(rng.New(1))
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := valid(3, 2)
+	seeds := [][]byte{
+		base,
+		valid(1, 1),
+		base[:len(base)-3],         // truncated body
+		append(base[:8:8], 0xFF),   // truncated header
+		append(base, 0x00),         // trailing garbage
+		{},
+	}
+	futureVersion := append([]byte(nil), base...)
+	futureVersion[6] = 2
+	seeds = append(seeds, futureVersion)
+	hugeShape := append([]byte(nil), base[:8]...)
+	hugeShape = append(hugeShape, 0xFF, 0xFF, 0xFF, 0x7E, 0x01, 0x00, 0x00, 0x00) // n≈2^31, k=1
+	seeds = append(seeds, hugeShape)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Allocation must be justified by real bytes: the file fully
+		// materialized the store, so its size equals SaveSize plus nothing.
+		if int64(len(data)) != s.SaveSize() {
+			t.Fatalf("accepted %d bytes for a %d-byte store", len(data), s.SaveSize())
+		}
+		if s.NumUsers() <= 0 || s.Dim() <= 0 {
+			t.Fatalf("degenerate shape %dx%d accepted", s.NumUsers(), s.Dim())
+		}
+		if v := s.Score(0, s.NumUsers()-1); math.IsNaN(v) {
+			// NaN parameters are representable; scoring just must not panic.
+			_ = v
+		}
+	})
+}

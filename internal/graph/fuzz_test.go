@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList asserts the edge-list reader never panics and never
+// over-allocates on corrupt input, and that every accepted graph satisfies
+// its structural invariants. Regression seeds (max-int32 ids, huge implied
+// universes, malformed lines) live in testdata/fuzz/FuzzReadEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte("0\t1\n1\t2\n"),
+		[]byte("# comment\n\n3 4\r\n4 3\n"),
+		[]byte("2147483647\t0\n"),
+		[]byte("0\t2147483646\n"),
+		[]byte("-1\t2\n"),
+		[]byte("a\tb\n"),
+		[]byte("5\n"),
+		[]byte("1\t1\n"),
+		[]byte("00000000000000000000\t1\n"),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data), 0)
+		if err != nil {
+			return
+		}
+		n := g.NumNodes()
+		if n < 0 {
+			t.Fatalf("negative universe %d", n)
+		}
+		if int64(n) > maxInferredUniverse(len(data)) {
+			t.Fatalf("universe %d over-allocated from %d input bytes", n, len(data))
+		}
+		var count int64
+		g.Edges(func(u, v int32) bool {
+			if u < 0 || u >= n || v < 0 || v >= n {
+				t.Fatalf("edge (%d,%d) outside universe %d", u, v, n)
+			}
+			if u == v {
+				t.Fatalf("self-loop (%d,%d) survived", u, v)
+			}
+			count++
+			return true
+		})
+		if count != g.NumEdges() {
+			t.Fatalf("Edges visited %d, NumEdges %d", count, g.NumEdges())
+		}
+	})
+}

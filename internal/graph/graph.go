@@ -14,6 +14,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -93,12 +94,16 @@ func NewBuilder(n int32) *Builder {
 	return &Builder{n: n}
 }
 
-// AddEdge records the directed edge (u,v). Negative endpoints are rejected.
+// AddEdge records the directed edge (u,v). Negative endpoints are rejected,
+// as is math.MaxInt32 (the universe size id+1 must itself fit in an int32).
 // Self-loops are silently ignored (the paper's influence semantics have no
 // use for them).
 func (b *Builder) AddEdge(u, v int32) error {
 	if u < 0 || v < 0 {
 		return fmt.Errorf("graph: negative node id in edge (%d,%d)", u, v)
+	}
+	if u == math.MaxInt32 || v == math.MaxInt32 {
+		return fmt.Errorf("graph: node id %d overflows the universe size", math.MaxInt32)
 	}
 	if u == v {
 		return nil
@@ -116,6 +121,9 @@ func (b *Builder) AddEdge(u, v int32) error {
 // NumPendingEdges returns the number of edges added so far, before
 // deduplication.
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// NumNodes returns the universe size the builder has grown to so far.
+func (b *Builder) NumNodes() int32 { return b.n }
 
 // Build produces the immutable Graph. The builder may be reused afterwards,
 // but edges added so far remain.

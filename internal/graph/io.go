@@ -42,7 +42,22 @@ func ReadEdgeList(r io.Reader, n int32) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
+	// Build allocates O(universe) offset arrays, so a tiny (possibly
+	// hostile) file must not be able to imply a huge universe through one
+	// large node id. IDs up to the caller's explicit n are always
+	// authorized; beyond that the inferred universe must stay plausible
+	// relative to the number of edges actually present.
+	if inferred := b.NumNodes(); inferred > n && int64(inferred) > maxInferredUniverse(b.NumPendingEdges()) {
+		return nil, fmt.Errorf("graph: implausible universe: %d edges imply %d nodes", b.NumPendingEdges(), inferred)
+	}
 	return b.Build(), nil
+}
+
+// maxInferredUniverse bounds how large a node universe an edge list may
+// imply per edge it contains: generous enough for any real sparse dataset,
+// tight enough that a corrupt line cannot demand gigabytes of offsets.
+func maxInferredUniverse(edges int) int64 {
+	return 1024*int64(edges) + 65536
 }
 
 // WriteEdgeList writes the graph as a TSV edge list, one "u\tv" per line in

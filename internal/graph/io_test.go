@@ -71,3 +71,21 @@ func TestEdgeListRoundTrip(t *testing.T) {
 		return true
 	})
 }
+
+func TestReadEdgeListRejectsImplausibleUniverse(t *testing.T) {
+	// One edge implying a two-billion-node universe must be rejected before
+	// Build allocates gigabytes of offsets.
+	if _, err := ReadEdgeList(strings.NewReader("0\t2147483646\n"), 0); err == nil {
+		t.Fatal("implausible universe accepted")
+	}
+	// The same id is fine when the caller explicitly authorizes the size.
+	if _, err := ReadEdgeList(strings.NewReader("0\t70000\n"), 70001); err != nil {
+		t.Fatalf("explicitly sized universe rejected: %v", err)
+	}
+}
+
+func TestReadEdgeListRejectsMaxInt32(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("2147483647\t0\n"), 0); err == nil {
+		t.Fatal("math.MaxInt32 node id accepted (universe size overflows)")
+	}
+}

@@ -52,6 +52,23 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// State returns the generator's full 256-bit internal state, for
+// checkpointing. Restoring it with SetState resumes the exact stream.
+func (r *RNG) State() [4]uint64 {
+	return r.s
+}
+
+// SetState replaces the generator's internal state with one previously
+// captured by State. The all-zero state is invalid for xoshiro256** (the
+// stream would be constant zero); it is replaced by a fixed nonzero state so
+// a corrupt checkpoint can degrade but never wedge the generator.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.
