@@ -47,10 +47,21 @@ func main() {
 	}
 }
 
+// knownExperiments is every name -run accepts besides "all".
+var knownExperiments = map[string]bool{
+	"table1": true, "table2": true, "table3": true, "table4": true,
+	"table5": true, "table6": true, "fig1": true, "fig2": true,
+	"fig3": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
+}
+
 func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
-		want[strings.TrimSpace(name)] = true
+		name = strings.TrimSpace(name)
+		if name != "all" && !knownExperiments[name] {
+			return fmt.Errorf("unknown experiment %q (want table1..table6, fig1..fig3, fig6..fig9, or all)", name)
+		}
+		want[name] = true
 	}
 	all := want["all"]
 	interrupted := false

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunAllQuickSmoke drives one experiment end to end at reduced scale so
+// a refactor that breaks the experiment harness fails in `go test` rather
+// than at paper-reproduction time.
+func TestRunAllQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := runAll(ctx, "table1", true, 1, ""); err != nil {
+		t.Fatalf("runAll(table1, quick): %v", err)
+	}
+}
+
+func TestRunAllRejectsUnknownExperiment(t *testing.T) {
+	if err := runAll(context.Background(), "table99", true, 1, ""); err == nil {
+		t.Fatal("unknown experiment name accepted")
+	}
+}

@@ -75,18 +75,7 @@ func loadData(graphPath, logPath string) (*inf2vec.Graph, *inf2vec.ActionLog, er
 }
 
 func parseAgg(name string) (inf2vec.Aggregator, error) {
-	switch name {
-	case "ave":
-		return inf2vec.Ave, nil
-	case "sum":
-		return inf2vec.Sum, nil
-	case "max":
-		return inf2vec.Max, nil
-	case "latest":
-		return inf2vec.Latest, nil
-	default:
-		return inf2vec.Ave, fmt.Errorf("unknown aggregator %q", name)
-	}
+	return inf2vec.ParseAggregator(name)
 }
 
 func cmdTrain(args []string) error {

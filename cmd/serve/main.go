@@ -1,0 +1,71 @@
+// Command serve exposes a trained influence-embedding model as a
+// fault-tolerant JSON HTTP API.
+//
+// Usage:
+//
+//	serve -model model.i2v [-addr :8080] [-timeout 2s] [-max-timeout 30s]
+//	      [-max-inflight 256] [-drain-timeout 10s]
+//
+// Endpoints:
+//
+//	GET  /v1/score?source=U&target=V                 pair influence score x(u,v)
+//	POST /v1/activation  {"active":[..],"candidate":V,"agg":"ave"}
+//	GET  /v1/topk?source=U&k=10&agg=max              top-k most-influenced users
+//	GET  /healthz   GET /readyz   GET /debug/statz
+//
+// Operational signals:
+//
+//	SIGHUP        hot-reload the model file; a corrupt or torn file is
+//	              rejected and the old model keeps serving
+//	SIGINT/SIGTERM graceful drain: stop accepting, flip /readyz to 503,
+//	              finish in-flight requests up to -drain-timeout; a second
+//	              signal aborts immediately
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"inf2vec/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	model := fs.String("model", "", "trained model file (required); SIGHUP re-reads it")
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap for the per-request ?timeout_ms= override")
+	maxInFlight := fs.Int("max-inflight", 256, "concurrent API requests before load shedding (429)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("-model is required")
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	s, err := serve.New(serve.Config{
+		Addr:           *addr,
+		ModelPath:      *model,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxInFlight:    *maxInFlight,
+		DrainTimeout:   *drainTimeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	return s.Run(context.Background())
+}

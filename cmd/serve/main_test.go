@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "-model") {
+		t.Errorf("missing -model: err = %v", err)
+	}
+	if err := run([]string{"-model", "/nonexistent/path/model.i2v", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("nonexistent model path accepted")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

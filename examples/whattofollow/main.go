@@ -93,10 +93,13 @@ func rankCandidates(m *inf2vec.Model, g *inf2vec.Graph, active []int32, k int) [
 				continue
 			}
 			seen[v] = true
-			out = append(out, inf2vec.Ranked{
-				User:  v,
-				Score: m.PredictActivation(friendsOf(g, active, v), v, inf2vec.Max),
-			})
+			score, err := m.PredictActivation(friendsOf(g, active, v), v, inf2vec.Max)
+			if err != nil {
+				// v is u's out-neighbor, so it always has at least one
+				// active friend; skip defensively anyway.
+				continue
+			}
+			out = append(out, inf2vec.Ranked{User: v, Score: score})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })

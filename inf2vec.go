@@ -32,7 +32,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/core"
@@ -83,6 +82,21 @@ const (
 	Max    = eval.Max
 	Latest = eval.Latest
 )
+
+// ParseAggregator resolves a case-insensitive aggregator name ("ave", "sum",
+// "max", "latest").
+func ParseAggregator(name string) (Aggregator, error) { return eval.ParseAggregator(name) }
+
+// Scorer is a bounds-checked, cancellation-aware scoring facade over a
+// model: the building block of the online serving layer. See NewScorer.
+type Scorer = eval.Scorer
+
+// ErrNoScores reports an aggregation over an empty score set (Eq. 7 is
+// undefined for a candidate with no active neighbor).
+var ErrNoScores = eval.ErrNoScores
+
+// ErrUserRange reports a user ID outside the model's universe.
+var ErrUserRange = eval.ErrUserRange
 
 // Metrics is an evaluation result row: AUC, MAP and P@{10,50,100} averaged
 // over test episodes.
@@ -243,48 +257,40 @@ func (m *Model) Biases(u int32) (influenceAbility, conformity float32) {
 	return *m.inner.Store.BiasSource(u), *m.inner.Store.BiasTarget(u)
 }
 
+// NewScorer returns the model's online scoring facade: bounds-checked pair
+// scores, Eq. 7 activation aggregation, and deadline-aware top-k influence
+// ranking. The serving layer and the convenience methods below share it.
+func (m *Model) NewScorer() *Scorer {
+	sc, err := eval.NewScorer(m.inner, m.NumUsers())
+	if err != nil {
+		// A trained model always has a positive universe and a scorer.
+		panic(fmt.Sprintf("inf2vec: model scorer: %v", err))
+	}
+	return sc
+}
+
 // PredictActivation aggregates the pair scores from the time-ordered active
-// user set onto candidate v (Eq. 7). It panics on an empty active set.
-func (m *Model) PredictActivation(active []int32, v int32, agg Aggregator) float64 {
-	return eval.LatentActivationScorer(m.inner, agg)(active, v)
+// user set onto candidate v (Eq. 7). An empty active set returns
+// ErrNoScores, an out-of-universe user ErrUserRange.
+func (m *Model) PredictActivation(active []int32, v int32, agg Aggregator) (float64, error) {
+	return m.NewScorer().Activation(active, v, agg)
 }
 
 // Ranked is one entry of a ranked user list.
-type Ranked struct {
-	User  int32
-	Score float64
-}
+type Ranked = eval.Ranked
 
 // RankInfluenced scores every user against the time-ordered seed set and
 // returns the topK users most likely to be influenced, descending. Seeds
-// themselves are excluded.
+// themselves are excluded. Empty seeds, non-positive topK or out-of-universe
+// seed IDs yield nil; use NewScorer().TopInfluenced for error detail and
+// cancellation.
 func (m *Model) RankInfluenced(seeds []int32, agg Aggregator, topK int) []Ranked {
 	if len(seeds) == 0 || topK <= 0 {
 		return nil
 	}
-	isSeed := make(map[int32]bool, len(seeds))
-	for _, s := range seeds {
-		isSeed[s] = true
-	}
-	xs := make([]float64, len(seeds))
-	all := make([]Ranked, 0, m.NumUsers())
-	for v := int32(0); v < m.NumUsers(); v++ {
-		if isSeed[v] {
-			continue
-		}
-		for i, u := range seeds {
-			xs[i] = m.Score(u, v)
-		}
-		all = append(all, Ranked{User: v, Score: agg.Aggregate(xs)})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].User < all[j].User
-	})
-	if topK < len(all) {
-		all = all[:topK]
+	all, err := m.NewScorer().TopInfluenced(context.Background(), seeds, agg, topK)
+	if err != nil {
+		return nil
 	}
 	return all
 }
@@ -303,20 +309,15 @@ func (m *Model) EvaluateDiffusion(g *Graph, test *ActionLog, agg Aggregator, see
 		eval.LatentDiffusionScorer(m.inner, agg, test.NumUsers()), seedFrac)
 }
 
-// Save writes the model's parameters to w in a versioned binary format.
+// Save writes the model's parameters to w in a versioned, CRC-trailed
+// binary format.
 func (m *Model) Save(w io.Writer) error { return m.inner.Store.Save(w) }
 
-// SaveFile is Save to a file path.
+// SaveFile is Save to a file path. The write is atomic (temp file, fsync,
+// rename), so a serving process hot-reloading the path can never observe a
+// torn model.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("inf2vec: %w", err)
-	}
-	if err := m.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return m.inner.Store.SaveFile(path)
 }
 
 // LoadModel reads a model written by Save. The loaded model scores and

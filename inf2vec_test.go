@@ -99,9 +99,18 @@ func TestTrainAndScore(t *testing.T) {
 
 func TestPredictActivationAndRank(t *testing.T) {
 	m := trainFixture(t)
-	score := m.PredictActivation([]int32{0}, 1, Ave)
+	score, err := m.PredictActivation([]int32{0}, 1, Ave)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.IsNaN(score) {
 		t.Fatal("NaN activation score")
+	}
+	if _, err := m.PredictActivation(nil, 1, Ave); !errors.Is(err, ErrNoScores) {
+		t.Fatalf("empty active set: err = %v, want ErrNoScores", err)
+	}
+	if _, err := m.PredictActivation([]int32{0}, m.NumUsers(), Ave); !errors.Is(err, ErrUserRange) {
+		t.Fatalf("out-of-universe candidate: err = %v, want ErrUserRange", err)
 	}
 	ranked := m.RankInfluenced([]int32{0}, Max, 3)
 	if len(ranked) != 3 {

@@ -205,9 +205,9 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 	baseCorpus, baseNeg := corpus, neg
 	cfgHash := cfg.hash()
 
-	epoch := 0      // completed epochs; invariant: len(res.Epochs) == epoch
-	lrScale := 1.0  // divergence-recovery multiplier on the step size
-	retries := 0    // divergence recoveries consumed
+	epoch := 0                 // completed epochs; invariant: len(res.Epochs) == epoch
+	lrScale := 1.0             // divergence-recovery multiplier on the step size
+	retries := 0               // divergence recoveries consumed
 	var snap *checkpoint.State // in-memory mirror of the last checkpoint
 
 	if resume != nil {

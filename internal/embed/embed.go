@@ -21,8 +21,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"inf2vec/internal/rng"
 	"inf2vec/internal/vecmath"
@@ -158,18 +161,26 @@ func (s *Store) CopyFrom(src *Store) error {
 	return nil
 }
 
-// Binary persistence. The format is versioned and endianness-fixed:
+// Binary persistence. The format is versioned, endianness-fixed and
+// integrity-checked:
 //
-//	magic "I2VEMB" | version byte (1) | reserved zero byte |
-//	int32 n | int32 k | source | target | biasS | biasT
+//	magic "I2VEMB" | version byte (2) | reserved zero byte |
+//	int32 n | int32 k | source | target | biasS | biasT |
+//	uint32 CRC-32 (IEEE) of every preceding byte
 //
-// with all floats little-endian float32. The explicit version byte lets the
-// model format and the checkpoint format (which embeds a store section)
-// evolve independently.
+// with all floats little-endian float32. The CRC trailer (new in version 2)
+// lets a hot-reloading server reject a bit-flipped or torn model file before
+// swapping it in; version-1 files (no trailer) are still read for backward
+// compatibility. The explicit version byte lets the model format and the
+// checkpoint format (which embeds a store section) evolve independently.
 var storeMagic = [6]byte{'I', '2', 'V', 'E', 'M', 'B'}
 
-// storeVersion is the current format version written by Save.
-const storeVersion = 1
+// storeVersion is the current format version written by Save;
+// legacyVersion is the oldest version Load still accepts.
+const (
+	storeVersion  = 2
+	legacyVersion = 1
+)
 
 // ErrBadFormat is returned by Load when the input is not a store written by
 // Save (wrong magic, unsupported version, bad header, truncated body, or
@@ -179,23 +190,63 @@ var ErrBadFormat = errors.New("embed: not a valid embedding store file")
 // SaveSize returns the exact number of bytes Save will write, so containers
 // (checkpoints) can frame the store section without buffering it.
 func (s *Store) SaveSize() int64 {
-	return 8 + 8 + 4*(2*int64(s.n)*int64(s.k)+2*int64(s.n))
+	return 8 + 8 + 4*(2*int64(s.n)*int64(s.k)+2*int64(s.n)) + 4 // + CRC trailer
 }
 
-// Save writes the store to w in the package binary format.
+// Save writes the store to w in the package binary format, including the
+// CRC-32 trailer.
 func (s *Store) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
 	hdr := [8]byte{storeMagic[0], storeMagic[1], storeMagic[2], storeMagic[3], storeMagic[4], storeMagic[5], storeVersion, 0}
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := mw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("embed: save: %w", err)
 	}
 	shape := [2]int32{s.n, int32(s.k)}
-	if err := binary.Write(w, binary.LittleEndian, shape[:]); err != nil {
+	if err := binary.Write(mw, binary.LittleEndian, shape[:]); err != nil {
 		return fmt.Errorf("embed: save: %w", err)
 	}
 	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
-		if err := binary.Write(w, binary.LittleEndian, block); err != nil {
+		if err := binary.Write(mw, binary.LittleEndian, block); err != nil {
 			return fmt.Errorf("embed: save: %w", err)
 		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile atomically writes the store to path: the bytes land in a
+// temporary file in the destination directory, are fsynced, and the file is
+// renamed over path. A process hot-reloading the path therefore observes
+// either the previous model or the complete new one, never a torn write.
+func (s *Store) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("embed: save: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("embed: save: %w", err)
+	}
+	// Persist the rename itself; best effort — some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
@@ -216,9 +267,12 @@ func Load(r io.Reader) (*Store, error) {
 }
 
 // LoadFrom reads exactly one store from r, leaving any following bytes
-// unread. Allocation is read-driven: a truncated or corrupt header can never
-// demand more memory than the stream actually delivers.
+// unread. Version-2 stores have their CRC trailer verified; legacy version-1
+// stores (no trailer) are accepted for backward compatibility. Allocation is
+// read-driven: a truncated or corrupt header can never demand more memory
+// than the stream actually delivers.
 func LoadFrom(r io.Reader) (*Store, error) {
+	base := r
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
@@ -226,8 +280,14 @@ func LoadFrom(r io.Reader) (*Store, error) {
 	if [6]byte(hdr[:6]) != storeMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:6])
 	}
-	if hdr[6] != storeVersion || hdr[7] != 0 {
-		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, hdr[6])
+	version := hdr[6]
+	if (version != storeVersion && version != legacyVersion) || hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, version)
+	}
+	var crc *crc32OfRead
+	if version == storeVersion {
+		crc = &crc32OfRead{sum: crc32.ChecksumIEEE(hdr[:])}
+		r = io.TeeReader(base, crc)
 	}
 	var shape [2]int32
 	if err := binary.Read(r, binary.LittleEndian, shape[:]); err != nil {
@@ -254,7 +314,35 @@ func LoadFrom(r io.Reader) (*Store, error) {
 	if s.biasT, err = readFloatBlock(r, int64(n)); err != nil {
 		return nil, err
 	}
+	if crc != nil {
+		// Read the trailer from the base reader so it stays out of the sum.
+		var trail [4]byte
+		if _, err := io.ReadFull(base, trail[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading CRC trailer: %v", ErrBadFormat, err)
+		}
+		if got, want := crc.sum, binary.LittleEndian.Uint32(trail[:]); got != want {
+			return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrBadFormat, want, got)
+		}
+	}
 	return s, nil
+}
+
+// crc32OfRead accumulates the IEEE CRC-32 of every byte teed through it.
+type crc32OfRead struct{ sum uint32 }
+
+func (c *crc32OfRead) Write(p []byte) (int, error) {
+	c.sum = crc32.Update(c.sum, crc32.IEEETable, p)
+	return len(p), nil
+}
+
+// LoadFile reads a store from path.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }
 
 // readFloatBlock reads n little-endian float32s, growing the destination as

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"inf2vec/internal/rng"
@@ -249,6 +251,85 @@ func TestLoadFromLeavesTrailingBytes(t *testing.T) {
 	}
 	if buf.String() != "suffix" {
 		t.Fatalf("LoadFrom consumed trailing bytes, remainder %q", buf.String())
+	}
+}
+
+func TestLoadDetectsBodyCorruption(t *testing.T) {
+	s, err := New(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(11))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every region of the body and the trailer: the CRC must
+	// reject each variant.
+	full := buf.Bytes()
+	for _, off := range []int{9, 16, len(full) / 2, len(full) - 6, len(full) - 1} {
+		bad := append([]byte(nil), full...)
+		bad[off] ^= 0x01
+		if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("bit flip at %d: err = %v, want ErrBadFormat", off, err)
+		}
+	}
+}
+
+func TestLoadAcceptsLegacyV1(t *testing.T) {
+	s, err := New(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(3))
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A version-1 file is the version-2 bytes without the CRC trailer.
+	v1 := append([]byte(nil), buf.Bytes()[:buf.Len()-4]...)
+	v1[6] = 1
+	s2, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("legacy v1 store rejected: %v", err)
+	}
+	if s2.NumUsers() != 4 || s2.Dim() != 3 {
+		t.Fatalf("legacy load shape %d/%d", s2.NumUsers(), s2.Dim())
+	}
+	if s2.SourceVec(2)[1] != s.SourceVec(2)[1] {
+		t.Fatal("legacy load corrupted parameters")
+	}
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	s, err := New(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Init(rng.New(21))
+	path := t.TempDir() + "/model.i2v"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with different parameters: readers must see old or new.
+	s.SourceVec(0)[0] = 42
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SourceVec(0)[0] != 42 {
+		t.Fatal("SaveFile did not replace the file")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after SaveFile, want 1", len(entries))
 	}
 }
 

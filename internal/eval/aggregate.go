@@ -1,6 +1,10 @@
 package eval
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
 
 // Aggregator is the F() of Eq. 7: it merges the pair scores x(u,v) from the
 // set of possibly-influencing users S_v into one activation likelihood.
@@ -32,12 +36,18 @@ func (a Aggregator) String() string {
 	}
 }
 
-// Aggregate applies the function to time-ordered scores. It panics on an
-// empty slice: callers only score candidates that have at least one active
-// neighbor.
-func (a Aggregator) Aggregate(xs []float64) float64 {
+// ErrNoScores is returned by Aggregate (and everything built on it) when
+// there is no score to aggregate: a candidate with no active neighbor has no
+// Eq. 7 activation likelihood.
+var ErrNoScores = errors.New("eval: no scores to aggregate")
+
+// Aggregate applies the function to time-ordered scores. An empty slice
+// returns ErrNoScores rather than panicking, so untrusted online callers
+// (the serving layer) can never crash the process with a neighbor-less
+// candidate; the offline task protocols filter such candidates up front.
+func (a Aggregator) Aggregate(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("eval: Aggregate over empty score set")
+		return 0, ErrNoScores
 	}
 	switch a {
 	case Ave:
@@ -45,13 +55,13 @@ func (a Aggregator) Aggregate(xs []float64) float64 {
 		for _, x := range xs {
 			s += x
 		}
-		return s / float64(len(xs))
+		return s / float64(len(xs)), nil
 	case Sum:
 		var s float64
 		for _, x := range xs {
 			s += x
 		}
-		return s
+		return s, nil
 	case Max:
 		m := xs[0]
 		for _, x := range xs[1:] {
@@ -59,13 +69,30 @@ func (a Aggregator) Aggregate(xs []float64) float64 {
 				m = x
 			}
 		}
-		return m
+		return m, nil
 	case Latest:
-		return xs[len(xs)-1]
+		return xs[len(xs)-1], nil
 	default:
-		panic(fmt.Sprintf("eval: unknown aggregator %d", int(a)))
+		return 0, fmt.Errorf("eval: unknown aggregator %d", int(a))
 	}
 }
 
 // Aggregators lists all four functions in Table V order.
 func Aggregators() []Aggregator { return []Aggregator{Ave, Sum, Max, Latest} }
+
+// ParseAggregator resolves a case-insensitive aggregator name ("ave", "sum",
+// "max", "latest") as accepted by the CLI flags and the serving API.
+func ParseAggregator(name string) (Aggregator, error) {
+	switch strings.ToLower(name) {
+	case "ave":
+		return Ave, nil
+	case "sum":
+		return Sum, nil
+	case "max":
+		return Max, nil
+	case "latest":
+		return Latest, nil
+	default:
+		return Ave, fmt.Errorf("eval: unknown aggregator %q", name)
+	}
+}

@@ -1,7 +1,9 @@
 package eval
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -190,7 +192,11 @@ func TestAggregators(t *testing.T) {
 		{Ave, 2}, {Sum, 6}, {Max, 3}, {Latest, 2},
 	}
 	for _, c := range cases {
-		if got := c.agg.Aggregate(xs); got != c.want {
+		got, err := c.agg.Aggregate(xs)
+		if err != nil {
+			t.Fatalf("%v.Aggregate: %v", c.agg, err)
+		}
+		if got != c.want {
 			t.Errorf("%v.Aggregate = %v, want %v", c.agg, got, c.want)
 		}
 	}
@@ -208,11 +214,28 @@ func TestAggregatorNames(t *testing.T) {
 	}
 }
 
-func TestAggregateEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Aggregate(nil) did not panic")
+func TestAggregateEmpty(t *testing.T) {
+	for _, a := range Aggregators() {
+		if _, err := a.Aggregate(nil); !errors.Is(err, ErrNoScores) {
+			t.Errorf("%v.Aggregate(nil): err = %v, want ErrNoScores", a, err)
 		}
-	}()
-	Ave.Aggregate(nil)
+	}
+}
+
+func TestAggregateUnknown(t *testing.T) {
+	if _, err := Aggregator(99).Aggregate([]float64{1}); err == nil {
+		t.Fatal("unknown aggregator accepted")
+	}
+}
+
+func TestParseAggregator(t *testing.T) {
+	for _, a := range Aggregators() {
+		got, err := ParseAggregator(strings.ToUpper(a.String()))
+		if err != nil || got != a {
+			t.Errorf("ParseAggregator(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAggregator("median"); err == nil {
+		t.Error("unknown aggregator name accepted")
+	}
 }

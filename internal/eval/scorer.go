@@ -1,0 +1,129 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrUserRange is returned by Scorer methods when a user ID falls outside
+// the model's universe. The underlying embedding store indexes flat arrays,
+// so range checking here is what keeps untrusted online input from panicking
+// the process.
+var ErrUserRange = errors.New("eval: user ID outside universe")
+
+// Ranked is one entry of a ranked user list. The JSON tags are the serving
+// API's wire shape.
+type Ranked struct {
+	User  int32   `json:"user"`
+	Score float64 `json:"score"`
+}
+
+// Scorer is the reusable online scoring facade over a PairScorer: the same
+// Eq. 7 logic the evaluation tasks use, but bounds-checked, error-returning
+// and cancellation-aware, so both the public Model API and the serving layer
+// share one implementation instead of re-deriving it.
+type Scorer struct {
+	ps PairScorer
+	n  int32
+}
+
+// NewScorer wraps a pair scorer over a universe of numUsers dense IDs.
+func NewScorer(ps PairScorer, numUsers int32) (*Scorer, error) {
+	if ps == nil {
+		return nil, fmt.Errorf("eval: nil pair scorer")
+	}
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("eval: user universe %d must be positive", numUsers)
+	}
+	return &Scorer{ps: ps, n: numUsers}, nil
+}
+
+// NumUsers returns the user universe size.
+func (s *Scorer) NumUsers() int32 { return s.n }
+
+// checkUsers validates that every ID lies in [0, n).
+func (s *Scorer) checkUsers(users ...int32) error {
+	for _, u := range users {
+		if u < 0 || u >= s.n {
+			return fmt.Errorf("%w: user %d outside [0,%d)", ErrUserRange, u, s.n)
+		}
+	}
+	return nil
+}
+
+// Pair returns the learned influence affinity x(u,v).
+func (s *Scorer) Pair(u, v int32) (float64, error) {
+	if err := s.checkUsers(u, v); err != nil {
+		return 0, err
+	}
+	return s.ps.Score(u, v), nil
+}
+
+// Activation aggregates the pair scores from the time-ordered active user
+// set onto candidate v (Eq. 7). An empty active set returns ErrNoScores.
+func (s *Scorer) Activation(active []int32, v int32, agg Aggregator) (float64, error) {
+	if err := s.checkUsers(v); err != nil {
+		return 0, err
+	}
+	if err := s.checkUsers(active...); err != nil {
+		return 0, err
+	}
+	xs := make([]float64, len(active))
+	for i, u := range active {
+		xs[i] = s.ps.Score(u, v)
+	}
+	return agg.Aggregate(xs)
+}
+
+// TopInfluenced scores every non-seed user of the universe against the
+// time-ordered seed set and returns the topK most likely to be influenced,
+// by descending score with ties broken by ascending user ID. The scan
+// observes ctx cooperatively (every few thousand users), so a serving
+// deadline bounds the worst-case latency of a full-universe ranking.
+func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregator, topK int) ([]Ranked, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("eval: topK %d must be positive", topK)
+	}
+	if len(seeds) == 0 {
+		return nil, ErrNoScores
+	}
+	if err := s.checkUsers(seeds...); err != nil {
+		return nil, err
+	}
+	isSeed := make(map[int32]bool, len(seeds))
+	for _, u := range seeds {
+		isSeed[u] = true
+	}
+	xs := make([]float64, len(seeds))
+	all := make([]Ranked, 0, s.n)
+	for v := int32(0); v < s.n; v++ {
+		if v&0x1FFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if isSeed[v] {
+			continue
+		}
+		for i, u := range seeds {
+			xs[i] = s.ps.Score(u, v)
+		}
+		y, err := agg.Aggregate(xs)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Ranked{User: v, Score: y})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].User < all[j].User
+	})
+	if topK < len(all) {
+		all = all[:topK]
+	}
+	return all, nil
+}

@@ -1,0 +1,123 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// pairFunc adapts a function to PairScorer for tests.
+type pairFunc func(u, v int32) float64
+
+func (f pairFunc) Score(u, v int32) float64 { return f(u, v) }
+
+// diffScorer scores x(u,v) = v - u: deterministic, monotone in v.
+var diffScorer = pairFunc(func(u, v int32) float64 { return float64(v - u) })
+
+func TestNewScorerValidation(t *testing.T) {
+	if _, err := NewScorer(nil, 5); err == nil {
+		t.Error("nil pair scorer accepted")
+	}
+	if _, err := NewScorer(diffScorer, 0); err == nil {
+		t.Error("empty universe accepted")
+	}
+}
+
+func TestScorerPair(t *testing.T) {
+	s, err := NewScorer(diffScorer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Pair(2, 7)
+	if err != nil || got != 5 {
+		t.Fatalf("Pair(2,7) = %v, %v", got, err)
+	}
+	for _, bad := range [][2]int32{{-1, 0}, {0, -1}, {10, 0}, {0, 10}} {
+		if _, err := s.Pair(bad[0], bad[1]); !errors.Is(err, ErrUserRange) {
+			t.Errorf("Pair(%d,%d): err = %v, want ErrUserRange", bad[0], bad[1], err)
+		}
+	}
+}
+
+func TestScorerActivation(t *testing.T) {
+	s, err := NewScorer(diffScorer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Activation([]int32{0, 2}, 4, Ave)
+	if err != nil || got != 3 { // mean of 4-0 and 4-2
+		t.Fatalf("Activation = %v, %v, want 3", got, err)
+	}
+	if _, err := s.Activation(nil, 4, Ave); !errors.Is(err, ErrNoScores) {
+		t.Errorf("empty active set: err = %v, want ErrNoScores", err)
+	}
+	if _, err := s.Activation([]int32{0, 99}, 4, Ave); !errors.Is(err, ErrUserRange) {
+		t.Errorf("out-of-range active user: err = %v, want ErrUserRange", err)
+	}
+	if _, err := s.Activation([]int32{0}, 99, Ave); !errors.Is(err, ErrUserRange) {
+		t.Errorf("out-of-range candidate: err = %v, want ErrUserRange", err)
+	}
+}
+
+func TestScorerTopInfluenced(t *testing.T) {
+	s, err := NewScorer(diffScorer, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TopInfluenced(context.Background(), []int32{0}, Max, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores are v-0, so the top-3 non-seed users are 5, 4, 3.
+	want := []Ranked{{5, 5}, {4, 4}, {3, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScorerTopInfluencedTies(t *testing.T) {
+	// Constant scorer: every candidate ties, so order must be ascending ID.
+	s, err := NewScorer(pairFunc(func(u, v int32) float64 { return 1 }), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TopInfluenced(context.Background(), []int32{2}, Ave, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUsers := []int32{0, 1, 3, 4} // seed 2 excluded
+	if len(got) != len(wantUsers) {
+		t.Fatalf("got %d results, want %d", len(got), len(wantUsers))
+	}
+	for i, u := range wantUsers {
+		if got[i].User != u {
+			t.Fatalf("tie order: result %d = user %d, want %d", i, got[i].User, u)
+		}
+	}
+}
+
+func TestScorerTopInfluencedErrors(t *testing.T) {
+	s, err := NewScorer(diffScorer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TopInfluenced(context.Background(), nil, Max, 3); !errors.Is(err, ErrNoScores) {
+		t.Errorf("empty seeds: err = %v, want ErrNoScores", err)
+	}
+	if _, err := s.TopInfluenced(context.Background(), []int32{11}, Max, 3); !errors.Is(err, ErrUserRange) {
+		t.Errorf("out-of-range seed: err = %v, want ErrUserRange", err)
+	}
+	if _, err := s.TopInfluenced(context.Background(), []int32{0}, Max, 0); err == nil {
+		t.Error("topK=0 accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.TopInfluenced(ctx, []int32{0}, Max, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -29,7 +29,15 @@ func LatentActivationScorer(s PairScorer, agg Aggregator) ScoreFunc {
 		for i, u := range active {
 			xs[i] = s.Score(u, v)
 		}
-		return agg.Aggregate(xs)
+		y, err := agg.Aggregate(xs)
+		if err != nil {
+			// The replay protocol only scores candidates with at least one
+			// active neighbor (activationCandidates filters the rest), so an
+			// empty set is a caller bug; zero — no influence evidence — is
+			// the safe answer.
+			return 0
+		}
+		return y
 	}
 }
 
@@ -128,7 +136,11 @@ func LatentDiffusionScorer(s PairScorer, agg Aggregator, numUsers int32) Diffusi
 			for i, u := range seeds {
 				xs[i] = s.Score(u, v)
 			}
-			scores[v] = agg.Aggregate(xs)
+			y, err := agg.Aggregate(xs)
+			if err != nil {
+				return nil, err
+			}
+			scores[v] = y
 		}
 		return scores, nil
 	}

@@ -1,0 +1,87 @@
+package ic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"inf2vec/internal/graph"
+)
+
+// fuzzGraph is the fixed 3-node / 3-edge graph every fuzz input is loaded
+// against: 0→1, 0→2, 1→2.
+func fuzzGraph(t testing.TB) *graph.Graph {
+	b := graph.NewBuilder(3)
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 2}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// validProbsFile serializes a well-formed EdgeProbs file for the fuzz graph.
+func validProbsFile(t testing.TB, ps []float64) []byte {
+	g := fuzzGraph(t)
+	e := NewEdgeProbs(g)
+	copy(e.p, ps)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadEdgeProbs throws arbitrary bytes at the untrusted-input reader.
+// Invariants: no panic, and any accepted file yields probabilities that are
+// all finite and inside [0,1].
+func FuzzLoadEdgeProbs(f *testing.F) {
+	valid := validProbsFile(f, []float64{0.25, 0.5, 1})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])         // truncated body
+	f.Add(valid[:11])                   // truncated header
+	f.Add([]byte{})                     // empty
+	f.Add([]byte("I2VICPxx__________")) // bad magic
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[5] ^= 0xFF
+	f.Add(badMagic)
+
+	wrongNodes := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(wrongNodes[8:], 7) // shape mismatch
+	f.Add(wrongNodes)
+
+	wrongEdges := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(wrongEdges[12:], 99)
+	f.Add(wrongEdges)
+
+	nanProb := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(nanProb[20:], math.Float64bits(math.NaN()))
+	f.Add(nanProb)
+
+	bigProb := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(bigProb[20:], math.Float64bits(1.5))
+	f.Add(bigProb)
+
+	negProb := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(negProb[20:], math.Float64bits(-0.1))
+	f.Add(negProb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(t)
+		e, err := LoadEdgeProbs(bytes.NewReader(data), g)
+		if err != nil {
+			if e != nil {
+				t.Fatalf("error %v but non-nil EdgeProbs", err)
+			}
+			return
+		}
+		for i := int64(0); i < g.NumEdges(); i++ {
+			p := e.p[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+				t.Fatalf("accepted file with probability %v at slot %d", p, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"inf2vec/internal/eval"
+)
+
+// maxTopK caps /v1/topk list lengths so one request cannot ask for an
+// arbitrarily large response body.
+const maxTopK = 10_000
+
+// maxBodyBytes caps JSON request bodies.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's full HTTP handler: health and debug routes
+// plus the API routes wrapped in the robustness chain
+// logging(recovery(shedding(deadline(handler)))). Health probes bypass the
+// limiter and deadlines on purpose — a saturated server must still answer
+// its load balancer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /debug/statz", s.handleStatz)
+
+	api := func(h http.HandlerFunc) http.Handler {
+		return s.withShedding(s.withDeadline(h))
+	}
+	mux.Handle("GET /v1/score", api(s.handleScore))
+	mux.Handle("POST /v1/activation", api(s.handleActivation))
+	mux.Handle("GET /v1/topk", api(s.handleTopK))
+
+	return s.withLogging(s.withRecovery(mux))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.model.Load() == nil:
+		writeError(w, http.StatusServiceUnavailable, "no model loaded")
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// scoreResponse is the /v1/score result.
+type scoreResponse struct {
+	Source int32   `json:"source"`
+	Target int32   `json:"target"`
+	Score  float64 `json:"score"`
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	u, ok := queryID(w, r, "source")
+	if !ok {
+		return
+	}
+	v, ok := queryID(w, r, "target")
+	if !ok {
+		return
+	}
+	if !s.stallForTest(ctx) {
+		s.writeTimeout(w)
+		return
+	}
+	score, err := s.model.Load().scorer.Pair(u, v)
+	if err != nil {
+		writeScorerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scoreResponse{Source: u, Target: v, Score: score})
+}
+
+// activationRequest is the /v1/activation JSON body: the time-ordered set of
+// already-active users and the candidate to score (Eq. 7).
+type activationRequest struct {
+	Active    []int32 `json:"active"`
+	Candidate int32   `json:"candidate"`
+	Agg       string  `json:"agg"` // optional; default "ave" (the paper's default)
+}
+
+// activationResponse is the /v1/activation result.
+type activationResponse struct {
+	Candidate   int32   `json:"candidate"`
+	Agg         string  `json:"agg"`
+	ActiveCount int     `json:"active_count"`
+	Score       float64 `json:"score"`
+}
+
+func (s *Server) handleActivation(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	var req activationRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	agg := eval.Ave
+	if req.Agg != "" {
+		var err error
+		if agg, err = eval.ParseAggregator(req.Agg); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if !s.stallForTest(ctx) {
+		s.writeTimeout(w)
+		return
+	}
+	score, err := s.model.Load().scorer.Activation(req.Active, req.Candidate, agg)
+	if err != nil {
+		writeScorerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, activationResponse{
+		Candidate:   req.Candidate,
+		Agg:         agg.String(),
+		ActiveCount: len(req.Active),
+		Score:       score,
+	})
+}
+
+// topkResponse is the /v1/topk result.
+type topkResponse struct {
+	Source  int32         `json:"source"`
+	Agg     string        `json:"agg"`
+	Results []eval.Ranked `json:"results"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	u, ok := queryID(w, r, "source")
+	if !ok {
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 || n > maxTopK {
+			writeError(w, http.StatusBadRequest, "k must be in [1,"+strconv.Itoa(maxTopK)+"]")
+			return
+		}
+		k = n
+	}
+	agg := eval.Max
+	if raw := r.URL.Query().Get("agg"); raw != "" {
+		var err error
+		if agg, err = eval.ParseAggregator(raw); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	if !s.stallForTest(ctx) {
+		s.writeTimeout(w)
+		return
+	}
+	results, err := s.model.Load().scorer.TopInfluenced(ctx, []int32{u}, agg, k)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeTimeout(w)
+			return
+		}
+		writeScorerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, topkResponse{Source: u, Agg: agg.String(), Results: results})
+}
+
+// stallForTest blocks for the server's test delay (if any), returning false
+// once the request deadline has expired. Production servers have no delay,
+// so the only cost is one context poll per request — which is also what
+// enforces deadlines that expired before the handler ran at all.
+func (s *Server) stallForTest(ctx context.Context) bool {
+	if s.testDelay > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(s.testDelay):
+		}
+	}
+	return ctx.Err() == nil
+}
+
+// queryID parses a required int32 user-ID query parameter, writing a 400 on
+// failure.
+func queryID(w http.ResponseWriter, r *http.Request, name string) (int32, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter "+name)
+		return 0, false
+	}
+	n, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parameter "+name+" must be an int32 user ID")
+		return 0, false
+	}
+	return int32(n), true
+}
+
+// writeScorerError maps scorer errors onto HTTP statuses: unknown users are
+// 404, empty active sets and other input problems are 400.
+func writeScorerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, eval.ErrUserRange):
+		writeError(w, http.StatusNotFound, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// errorBody is the uniform JSON error shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encode failures past WriteHeader are unrecoverable mid-response; the
+	// shapes marshaled here cannot fail anyway.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// recorder captures the response status and per-request robustness flags for
+// the structured access log. Handlers in this package are the only writers
+// of a response, so no locking is needed.
+type recorder struct {
+	http.ResponseWriter
+	status   int
+	shed     bool
+	panicked bool
+	timedOut bool
+}
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// withLogging wraps every request in a recorder and emits one structured log
+// line on completion: method, path, status, latency, and the shed / panic /
+// timeout flags set by the inner middleware.
+func (s *Server) withLogging(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &recorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler returned without writing
+		}
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"latency_ms", float64(time.Since(start).Microseconds())/1000,
+			"shed", rec.shed,
+			"panic", rec.panicked,
+			"timeout", rec.timedOut,
+		)
+	})
+}
+
+// withRecovery converts a handler panic into a 500 response and a logged
+// stack trace instead of killing the process.
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			s.stats.panics.Add(1)
+			s.log.Error("handler panic",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", p, "stack", string(debug.Stack()))
+			if rec, ok := w.(*recorder); ok {
+				rec.panicked = true
+				if rec.status == 0 {
+					writeError(w, http.StatusInternalServerError, "internal error")
+				}
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withShedding bounds concurrent API requests. Beyond MaxInFlight the
+// request is refused immediately with 429 + Retry-After — bounded latency
+// for the requests already admitted beats an unbounded queue.
+func (s *Server) withShedding(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.stats.shed.Add(1)
+			if rec, ok := w.(*recorder); ok {
+				rec.shed = true
+			}
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded")
+			return
+		}
+		s.stats.inFlight.Add(1)
+		defer func() {
+			s.stats.inFlight.Add(-1)
+			s.stats.served.Add(1)
+			<-s.inflight
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline runs the request under a context deadline: the server-wide
+// default, or a per-request ?timeout_ms= override capped at MaxTimeout.
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.cfg.DefaultTimeout
+		if raw := r.URL.Query().Get("timeout_ms"); raw != "" {
+			ms, err := strconv.Atoi(raw)
+			if err != nil || ms <= 0 {
+				writeError(w, http.StatusBadRequest, "timeout_ms must be a positive integer")
+				return
+			}
+			d = min(time.Duration(ms)*time.Millisecond, s.cfg.MaxTimeout)
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// writeTimeout reports a deadline expiry: 504 with a JSON body, plus the
+// timeout flag for the access log and counters.
+func (s *Server) writeTimeout(w http.ResponseWriter) {
+	s.stats.timeouts.Add(1)
+	if rec, ok := w.(*recorder); ok {
+		rec.timedOut = true
+	}
+	writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"inf2vec/internal/embed"
+	"inf2vec/internal/eval"
+)
+
+// model is one immutable loaded embedding store plus its scoring facade and
+// provenance metadata. Handlers grab the current *model once per request
+// from the server's atomic pointer, so a concurrent reload can never tear a
+// response across two stores.
+type model struct {
+	store    *embed.Store
+	scorer   *eval.Scorer
+	path     string
+	size     int64
+	crc      uint32 // IEEE CRC-32 of the whole file, for /debug/statz
+	loadedAt time.Time
+}
+
+// loadModel reads and validates the store file fully off the request path.
+// The file is slurped first so validation sees one consistent byte snapshot
+// even if the file is replaced mid-read, and embed.Load verifies magic,
+// version, exact framing and the format's CRC-32 trailer before any swap.
+func loadModel(path string) (*model, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	store, err := embed.Load(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("validating %s: %w", path, err)
+	}
+	scorer, err := eval.NewScorer(store, store.NumUsers())
+	if err != nil {
+		return nil, err
+	}
+	// A v2 store file ends with the CRC-32 of everything before it, and a
+	// CRC-32 of a message with its own CRC appended is always the residue
+	// constant 0x2144df1c — a whole-file checksum would report the same
+	// value for every valid model. Checksum the pre-trailer bytes instead
+	// (identical to the stored trailer), so /debug/statz distinguishes
+	// models; legacy v1 files have no trailer and get the full-file CRC.
+	body := raw
+	if len(raw) > 6 && raw[6] >= 2 && len(raw) >= 4 {
+		body = raw[:len(raw)-4]
+	}
+	return &model{
+		store:    store,
+		scorer:   scorer,
+		path:     path,
+		size:     int64(len(raw)),
+		crc:      crc32.ChecksumIEEE(body),
+		loadedAt: time.Now(),
+	}, nil
+}

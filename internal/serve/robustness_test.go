@@ -1,0 +1,570 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// liveServer runs s.serve on an ephemeral listener with an injected signal
+// stream — the exact code path Run drives from real process signals.
+type liveServer struct {
+	s       *Server
+	url     string
+	sigs    chan os.Signal
+	done    chan error
+	stopped chan struct{} // closed once serve has returned
+}
+
+func startLive(t *testing.T, s *Server) *liveServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := &liveServer{
+		s:       s,
+		url:     "http://" + ln.Addr().String(),
+		sigs:    make(chan os.Signal, 2),
+		done:    make(chan error, 1),
+		stopped: make(chan struct{}),
+	}
+	go func() {
+		ls.done <- s.serve(context.Background(), ln, ls.sigs)
+		close(ls.stopped)
+	}()
+	t.Cleanup(func() {
+		select {
+		case <-ls.stopped: // already stopped
+		default:
+			ls.sigs <- syscall.SIGTERM
+			ls.sigs <- syscall.SIGTERM // abort any in-flight stalls too
+			select {
+			case <-ls.stopped:
+			case <-time.After(10 * time.Second):
+				t.Error("server did not stop on cleanup")
+			}
+		}
+	})
+	return ls
+}
+
+// wait polls cond until it holds or the deadline passes.
+func wait(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// statz fetches the counter snapshot.
+func (ls *liveServer) statz(t *testing.T) Snapshot {
+	t.Helper()
+	resp, err := http.Get(ls.url + "/debug/statz")
+	if err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("statz decode: %v", err)
+	}
+	return snap
+}
+
+// TestDrainCompletesInFlight is the SIGTERM half of the kill-test: a request
+// in flight when the signal arrives completes with a full response, new
+// connections are refused, and serve returns nil (clean drain).
+func TestDrainCompletesInFlight(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = 5 * time.Second
+	})
+	s.testDelay = 300 * time.Millisecond
+	ls := startLive(t, s)
+
+	type result struct {
+		code  int
+		score float64
+		err   error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ls.url + "/v1/score?source=3&target=5&timeout_ms=5000")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var body scoreResponse
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resCh <- result{code: resp.StatusCode, score: body.Score, err: err}
+	}()
+
+	wait(t, "request in flight", func() bool { return ls.statz(t).InFlight >= 1 })
+	ls.sigs <- syscall.SIGTERM
+
+	select {
+	case err := <-ls.done:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after SIGTERM")
+	}
+
+	got := <-resCh
+	if got.err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", got.err)
+	}
+	if got.code != http.StatusOK || got.score != 35 {
+		t.Fatalf("in-flight result = %+v, want 200/35", got)
+	}
+
+	// The listener is closed: a fresh connection must be refused.
+	client := &http.Client{Timeout: time.Second}
+	if _, err := client.Get(ls.url + "/healthz"); err == nil {
+		t.Fatal("new request accepted after drain")
+	}
+}
+
+// TestReadyzFlipsOnDrain asserts the drain sequencing end to end: readiness
+// drops the moment the termination signal lands, while an in-flight request
+// keeps running to completion.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = 5 * time.Second
+	})
+	s.testDelay = 400 * time.Millisecond
+	ls := startLive(t, s)
+
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ls.url + "/v1/score?source=1&target=2&timeout_ms=5000")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		errCh <- err
+	}()
+	wait(t, "request in flight", func() bool { return ls.statz(t).InFlight >= 1 })
+	ls.sigs <- syscall.SIGTERM
+	wait(t, "draining flag", func() bool { return s.draining.Load() })
+	// The listener is closed once draining starts, so probe /readyz through
+	// the handler directly: it must report 503 while the drain runs.
+	req := httptest.NewRequest("GET", "/readyz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rec.Code)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("in-flight request failed once draining started: %v", err)
+	}
+	if err := <-ls.done; err != nil {
+		t.Fatalf("drain returned %v", err)
+	}
+}
+
+// TestSecondSignalAborts: after SIGTERM starts the drain, a second signal
+// must abort the remaining in-flight requests instead of waiting out the
+// drain timeout.
+func TestSecondSignalAborts(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = 30 * time.Second // far beyond the test's patience
+	})
+	s.testDelay = 10 * time.Second // requests would outlive any sane test
+	ls := startLive(t, s)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.Get(ls.url + "/v1/score?source=1&target=2&timeout_ms=30000")
+		errCh <- err
+	}()
+	wait(t, "request in flight", func() bool { return ls.statz(t).InFlight >= 1 })
+
+	start := time.Now()
+	ls.sigs <- syscall.SIGTERM
+	ls.sigs <- syscall.SIGTERM
+	select {
+	case <-ls.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not abort the drain")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v", elapsed)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("in-flight request survived a hard abort of a 10s handler")
+	}
+}
+
+// TestDeadlineExpiry is the 504 path: a handler that outlives its deadline
+// produces a Gateway Timeout with a JSON body and bumps the timeout counter.
+func TestDeadlineExpiry(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DefaultTimeout = 50 * time.Millisecond
+	})
+	s.testDelay = 400 * time.Millisecond
+	ls := startLive(t, s)
+
+	resp, err := http.Get(ls.url + "/v1/score?source=1&target=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "deadline") {
+		t.Fatalf("timeout body = %+v", body)
+	}
+	if snap := ls.statz(t); snap.Timeouts != 1 {
+		t.Fatalf("timeout counter = %d, want 1", snap.Timeouts)
+	}
+}
+
+// TestDeadlineOverride: ?timeout_ms extends past the tight default but is
+// capped at MaxTimeout.
+func TestDeadlineOverride(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DefaultTimeout = 50 * time.Millisecond
+		c.MaxTimeout = 10 * time.Second
+	})
+	s.testDelay = 200 * time.Millisecond
+	ls := startLive(t, s)
+
+	// Default deadline: too tight for the 200ms handler.
+	resp, err := http.Get(ls.url + "/v1/score?source=1&target=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("default deadline: status %d, want 504", resp.StatusCode)
+	}
+	// Override: plenty of room.
+	resp, err = http.Get(ls.url + "/v1/score?source=1&target=2&timeout_ms=2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("override: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDeadlineOverrideCapped(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DefaultTimeout = 5 * time.Second
+		c.MaxTimeout = 50 * time.Millisecond
+	})
+	s.testDelay = 300 * time.Millisecond
+	ls := startLive(t, s)
+
+	// The client asks for 10s but the cap is 50ms: the 300ms handler must
+	// still time out.
+	resp, err := http.Get(ls.url + "/v1/score?source=1&target=2&timeout_ms=10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("capped override: status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestLoadShedding is the saturation half of the kill-test: with the only
+// slot occupied, further requests get an immediate 429 + Retry-After rather
+// than queuing, and the occupant still completes.
+func TestLoadShedding(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 1
+	})
+	s.testDelay = 500 * time.Millisecond
+	ls := startLive(t, s)
+
+	occupantCh := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ls.url + "/v1/score?source=1&target=2&timeout_ms=5000")
+		if err != nil {
+			occupantCh <- -1
+			return
+		}
+		resp.Body.Close()
+		occupantCh <- resp.StatusCode
+	}()
+	wait(t, "slot occupied", func() bool { return ls.statz(t).InFlight >= 1 })
+
+	// Every request while the slot is held must be shed, fast.
+	var wg sync.WaitGroup
+	codes := make([]int, 5)
+	retryAfter := make([]string, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ls.url + "/v1/score?source=1&target=2")
+			if err != nil {
+				codes[i] = -1
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusTooManyRequests {
+			t.Errorf("request %d: status %d, want 429", i, code)
+		}
+		if retryAfter[i] == "" {
+			t.Errorf("request %d: no Retry-After header", i)
+		}
+	}
+	if got := <-occupantCh; got != http.StatusOK {
+		t.Fatalf("occupant request status %d, want 200", got)
+	}
+	if snap := ls.statz(t); snap.Shed != 5 {
+		t.Fatalf("shed counter = %d, want 5", snap.Shed)
+	}
+}
+
+// TestHotReload is the SIGHUP half of the kill-test: a corrupt replacement
+// file is rejected (the old model keeps serving), and a valid replacement is
+// swapped in without dropping a request.
+func TestHotReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.i2v")
+	if err := testStore(t, 8).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{ModelPath: path, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := startLive(t, s)
+
+	score := func() (int, float64) {
+		resp, err := http.Get(ls.url + "/v1/score?source=3&target=5")
+		if err != nil {
+			t.Fatalf("score: %v", err)
+		}
+		defer resp.Body.Close()
+		var body scoreResponse
+		json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body.Score
+	}
+	if code, got := score(); code != 200 || got != 35 {
+		t.Fatalf("baseline score = %d/%v", code, got)
+	}
+	baseCRC := ls.statz(t).Model.CRC32
+
+	// 1. Replace the file with garbage: reload must fail, old model serves.
+	if err := os.WriteFile(path, []byte("definitely not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ls.sigs <- syscall.SIGHUP
+	wait(t, "reload failure recorded", func() bool { return ls.statz(t).ReloadFailures >= 1 })
+	if code, got := score(); code != 200 || got != 35 {
+		t.Fatalf("after corrupt reload: score = %d/%v, want 200/35", code, got)
+	}
+
+	// 2. Replace with a valid file whose CRC is broken by one bit flip: the
+	// format-level integrity check must reject it.
+	raw := readModelBytes(t, testStore(t, 8))
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ls.sigs <- syscall.SIGHUP
+	wait(t, "bit-flip reload rejected", func() bool { return ls.statz(t).ReloadFailures >= 2 })
+	if code, got := score(); code != 200 || got != 35 {
+		t.Fatalf("after bit-flip reload: score = %d/%v, want 200/35", code, got)
+	}
+
+	// 3. Replace with a genuinely new model (larger universe, different
+	// scores): SIGHUP must swap it in.
+	bigger := testStore(t, 16)
+	*bigger.BiasSource(3) = 1000
+	if err := bigger.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ls.sigs <- syscall.SIGHUP
+	wait(t, "successful reload", func() bool { return ls.statz(t).Reloads >= 1 })
+	if code, got := score(); code != 200 || got != 1005 {
+		t.Fatalf("after reload: score = %d/%v, want 200/1005", code, got)
+	}
+	snap := ls.statz(t)
+	if snap.Model.Users != 16 {
+		t.Fatalf("model users = %d, want 16", snap.Model.Users)
+	}
+	// The reported CRC must identify the model: unchanged across the two
+	// rejected reloads (checked implicitly by the scores above), changed by
+	// the successful one. A whole-file CRC would be the constant CRC-32
+	// residue for every valid v2 file and hide the swap.
+	if snap.Model.CRC32 == baseCRC {
+		t.Fatalf("model CRC %s did not change across a successful reload", snap.Model.CRC32)
+	}
+	// User 12 exists only in the new model.
+	resp, err := http.Get(ls.url + "/v1/score?source=12&target=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("new-universe user: status %d", resp.StatusCode)
+	}
+}
+
+// readModelBytes serializes a store to memory.
+func readModelBytes(t *testing.T, st interface{ SaveFile(string) error }) []byte {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "m.i2v")
+	if err := st.SaveFile(tmp); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestRunRealSignals drives Run with actual process signals: SIGHUP reloads,
+// SIGTERM drains. This is the end-to-end kill-test of the signal wiring
+// itself; the suite above pins down the per-behavior details.
+func TestRunRealSignals(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.i2v")
+	if err := testStore(t, 8).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Addr:      "127.0.0.1:0",
+		ModelPath: path,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Run(context.Background()) }()
+	wait(t, "server listening", func() bool { return s.Addr() != "" })
+	url := "http://" + s.Addr()
+
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	// Real SIGHUP: hot reload.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, "SIGHUP reload", func() bool {
+		resp, err := http.Get(url + "/debug/statz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var snap Snapshot
+		if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+			return false
+		}
+		return snap.Reloads >= 1
+	})
+
+	// Real SIGTERM: graceful drain, Run returns nil.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after SIGTERM")
+	}
+}
+
+// TestDrainUnderConcurrentLoad is the combined kill-test of the acceptance
+// criteria: many clients in flight, SIGTERM mid-burst, zero dropped
+// responses among admitted requests.
+func TestDrainUnderConcurrentLoad(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 64
+		c.DrainTimeout = 10 * time.Second
+	})
+	s.testDelay = 150 * time.Millisecond
+	ls := startLive(t, s)
+
+	const n = 16
+	type result struct {
+		code int
+		err  error
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			url := fmt.Sprintf("%s/v1/score?source=%d&target=%d&timeout_ms=5000", ls.url, i%8, (i+1)%8)
+			resp, err := http.Get(url)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var body scoreResponse
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			results <- result{code: resp.StatusCode, err: err}
+		}(i)
+	}
+	wait(t, "burst in flight", func() bool { return ls.statz(t).InFlight >= 1 })
+	ls.sigs <- syscall.SIGTERM
+	select {
+	case err := <-ls.done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain hung")
+	}
+	// Every request either completed with a full 200 response or was never
+	// admitted (connection refused after the listener closed). A dropped
+	// admitted request would surface as a decode error / unexpected EOF
+	// with a 200 status line, or a non-200 status.
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err == nil && r.code != http.StatusOK {
+			t.Fatalf("admitted request got status %d", r.code)
+		}
+		if r.err != nil && r.code != 0 {
+			t.Fatalf("response torn mid-body: %v", r.err)
+		}
+	}
+}

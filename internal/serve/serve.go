@@ -1,0 +1,238 @@
+// Package serve implements the online serving layer for trained influence
+// embeddings: a stdlib-only net/http JSON API over an embedding store, built
+// to be fault-tolerant from day one.
+//
+// Endpoints:
+//
+//	GET  /v1/score?source=U&target=V          pair influence score x(u,v)
+//	POST /v1/activation                        Eq. 7 aggregation over active neighbors
+//	GET  /v1/topk?source=U&k=N&agg=max         top-k most-influenced targets
+//	GET  /healthz                              process liveness (always 200)
+//	GET  /readyz                               traffic readiness (503 while draining)
+//	GET  /debug/statz                          counter snapshot + model metadata
+//
+// Robustness layer (the point of the package, not the routes):
+//
+//   - Panic recovery: a handler panic becomes a 500 without killing the
+//     process.
+//   - Deadlines: every API request runs under a context deadline — a
+//     server-wide default, overridable per request via ?timeout_ms= up to a
+//     configured cap. Expiry returns 504.
+//   - Load shedding: once in-flight API requests reach MaxInFlight, further
+//     ones are refused immediately with 429 + Retry-After instead of queuing
+//     unboundedly.
+//   - Graceful drain: SIGINT/SIGTERM stops accepting connections, flips
+//     /readyz to 503, and finishes in-flight requests up to DrainTimeout.
+//     A second signal aborts immediately (the repository's two-signal
+//     convention).
+//   - Hot reload: SIGHUP loads and CRC-validates the model file off the
+//     request path and atomically swaps it in; any load failure keeps the
+//     old model serving.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Config parameterizes a Server; zero values select production-safe
+// defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// ModelPath is the embedding store file to serve; SIGHUP re-reads it.
+	ModelPath string
+	// DefaultTimeout bounds each API request when the client does not ask
+	// for a deadline (default 2s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request ?timeout_ms= override (default 30s).
+	MaxTimeout time.Duration
+	// MaxInFlight bounds concurrent API requests; excess load is shed with
+	// 429 (default 256).
+	MaxInFlight int
+	// DrainTimeout bounds how long a SIGTERM drain waits for in-flight
+	// requests (default 10s).
+	DrainTimeout time.Duration
+	// Logger receives structured request and lifecycle logs
+	// (default slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server serves influence queries over a hot-swappable embedding store.
+type Server struct {
+	cfg   Config
+	log   *slog.Logger
+	stats stats
+
+	model    atomic.Pointer[model] // current store; swapped whole on reload
+	reloadMu sync.Mutex            // serializes reloads, not reads
+
+	draining atomic.Bool // set at drain start; flips /readyz to 503
+	inflight chan struct{}
+	lnAddr   atomic.Value // string; the bound listen address once serving
+
+	// testDelay, when positive, stalls every API handler by that duration
+	// (observing the request context). Tests use it to hold requests
+	// in-flight deterministically; production leaves it zero.
+	testDelay time.Duration
+}
+
+// New builds a Server and loads the initial model from cfg.ModelPath.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: ModelPath is required")
+	}
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	m, err := loadModel(cfg.ModelPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: initial model: %w", err)
+	}
+	s.model.Store(m)
+	s.stats.start = time.Now()
+	s.log.Info("model loaded",
+		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
+		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
+	return s, nil
+}
+
+// Reload loads and validates cfg.ModelPath and atomically swaps it in. On
+// any failure the previous model keeps serving and the error is returned.
+// Safe to call concurrently with request handling.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	m, err := loadModel(s.cfg.ModelPath)
+	if err != nil {
+		s.stats.reloadFailures.Add(1)
+		s.log.Error("model reload failed; keeping current model", "path", s.cfg.ModelPath, "err", err)
+		return err
+	}
+	s.model.Store(m)
+	s.stats.reloads.Add(1)
+	s.log.Info("model reloaded",
+		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
+		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
+	return nil
+}
+
+// Addr returns the bound listen address once the server is serving, or ""
+// before that. Useful when cfg.Addr requested an ephemeral port.
+func (s *Server) Addr() string {
+	if v, ok := s.lnAddr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Run listens on cfg.Addr and serves until SIGINT/SIGTERM (graceful drain;
+// second signal aborts) or ctx cancellation. SIGHUP triggers a hot model
+// reload. It returns nil after a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	defer signal.Stop(sigs)
+	return s.serve(ctx, ln, sigs)
+}
+
+// serve is Run over an injected listener and signal stream, which is what
+// the robustness test suite drives directly.
+func (s *Server) serve(ctx context.Context, ln net.Listener, sigs <-chan os.Signal) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ErrorLog:          slog.NewLogLogger(s.log.Handler(), slog.LevelWarn),
+	}
+	s.lnAddr.Store(ln.Addr().String())
+	s.log.Info("serving", "addr", ln.Addr().String(), "model", s.cfg.ModelPath)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	for {
+		select {
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				// Off the serve loop so a slow disk cannot delay a
+				// subsequent drain signal; Reload serializes internally.
+				go func() { _ = s.Reload() }()
+				continue
+			}
+			s.log.Info("termination signal; draining", "signal", fmt.Sprint(sig))
+			return s.drain(srv, sigs)
+		case <-ctx.Done():
+			s.log.Info("context canceled; draining")
+			return s.drain(srv, sigs)
+		case err := <-errCh:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+}
+
+// drain stops accepting connections, flips /readyz to 503, and waits up to
+// DrainTimeout for in-flight requests. A second termination signal, or
+// drain-timeout expiry, aborts the remaining requests.
+func (s *Server) drain(srv *http.Server, sigs <-chan os.Signal) error {
+	s.draining.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if sigs != nil {
+		go func() {
+			select {
+			case <-sigs:
+				s.log.Warn("second signal; aborting in-flight requests")
+				srv.Close()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		srv.Close()
+		s.log.Warn("drain timed out; in-flight requests aborted", "err", err)
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	s.log.Info("drained cleanly", "served", s.stats.served.Load(), "shed", s.stats.shed.Load())
+	return nil
+}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"inf2vec/internal/embed"
+)
+
+// testStore builds a store with a fully predictable score surface:
+// x(u,v) = 10u + v (zero embeddings, biasS[u] = 10u, biasT[v] = v).
+func testStore(t *testing.T, n int32) *embed.Store {
+	t.Helper()
+	s, err := embed.New(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < n; u++ {
+		*s.BiasSource(u) = float32(10 * u)
+		*s.BiasTarget(u) = float32(u)
+	}
+	return s
+}
+
+// writeModel saves the store to dir/model.i2v and returns the path.
+func writeModel(t *testing.T, dir string, s *embed.Store) string {
+	t.Helper()
+	path := filepath.Join(dir, "model.i2v")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newTestServer builds a Server over a fresh 8-user test model. The mutate
+// hook adjusts the config before construction.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	path := writeModel(t, t.TempDir(), testStore(t, 8))
+	cfg := Config{ModelPath: path, Logger: quietLogger()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// getJSON fetches url and decodes the response body into out, returning the
+// status code.
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got scoreResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/score?source=3&target=5", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Source != 3 || got.Target != 5 || got.Score != 35 {
+		t.Fatalf("score = %+v, want {3 5 35}", got)
+	}
+}
+
+func TestScoreEndpointErrors(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/score?target=1", http.StatusBadRequest},          // missing source
+		{"/v1/score?source=x&target=1", http.StatusBadRequest}, // non-numeric
+		{"/v1/score?source=1&target=99", http.StatusNotFound},  // outside universe
+		{"/v1/score?source=-1&target=1", http.StatusNotFound},  // negative ID
+		{"/v1/score?source=1&target=1&timeout_ms=banana", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		var body errorBody
+		if code := getJSON(t, ts.Client(), ts.URL+c.url, &body); code != c.want {
+			t.Errorf("%s: status %d, want %d", c.url, code, c.want)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", c.url)
+		}
+	}
+}
+
+func TestActivationEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, error) {
+		return ts.Client().Post(ts.URL+"/v1/activation", "application/json", strings.NewReader(body))
+	}
+
+	resp, err := post(`{"active":[1,3],"candidate":5,"agg":"ave"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got activationResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	// x(1,5)=15, x(3,5)=35, mean 25.
+	if got.Score != 25 || got.ActiveCount != 2 || got.Agg != "Ave" {
+		t.Fatalf("activation = %+v", got)
+	}
+
+	for _, c := range []struct {
+		body string
+		want int
+	}{
+		{`{"active":[],"candidate":5}`, http.StatusBadRequest}, // empty active set
+		{`{"active":[1],"candidate":99}`, http.StatusNotFound}, // candidate outside universe
+		{`{"active":[99],"candidate":5}`, http.StatusNotFound}, // active user outside universe
+		{`{"active":[1],"candidate":5,"agg":"median"}`, http.StatusBadRequest},
+		{`{"unknown_field":1}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	} {
+		resp, err := post(c.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("body %q: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got topkResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=2&k=3", &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	// x(2,v) = 20 + v, so the top non-seed targets are 7, 6, 5.
+	if len(got.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(got.Results))
+	}
+	for i, wantUser := range []int32{7, 6, 5} {
+		if got.Results[i].User != wantUser {
+			t.Fatalf("result %d = user %d, want %d", i, got.Results[i].User, wantUser)
+		}
+	}
+	if got.Results[0].Score != 27 {
+		t.Fatalf("top score = %v, want 27", got.Results[0].Score)
+	}
+
+	for _, url := range []string{
+		"/v1/topk?source=2&k=0",
+		"/v1/topk?source=2&k=99999999",
+		"/v1/topk?source=2&agg=median",
+		"/v1/topk",
+	} {
+		if code := getJSON(t, ts.Client(), ts.URL+url, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", url, code)
+		}
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=88", nil); code != http.StatusNotFound {
+		t.Errorf("out-of-universe source: status %d, want 404", code)
+	}
+}
+
+func TestHealthAndReady(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code := getJSON(t, ts.Client(), ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
+	}
+	// Draining flips readiness immediately; liveness stays green.
+	s.draining.Store(true)
+	if code := getJSON(t, ts.Client(), ts.URL+"/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", code)
+	}
+}
+
+func TestStatzSnapshot(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getJSON(t, ts.Client(), ts.URL+"/v1/score?source=1&target=2", nil)
+	var snap Snapshot
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap); code != http.StatusOK {
+		t.Fatalf("statz = %d", code)
+	}
+	if snap.Served != 1 {
+		t.Errorf("served = %d, want 1", snap.Served)
+	}
+	if snap.Model.Users != 8 || snap.Model.Dim != 4 {
+		t.Errorf("model info = %+v", snap.Model)
+	}
+	if len(snap.Model.CRC32) != 8 {
+		t.Errorf("crc32 = %q", snap.Model.CRC32)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	s := newTestServer(t, nil)
+	// Compose the production chain around a handler that always panics: the
+	// request must come back as a 500 with the process still alive.
+	h := s.withLogging(s.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var body errorBody
+	if code := getJSON(t, ts.Client(), ts.URL+"/anything", &body); code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	if body.Error != "internal error" {
+		t.Fatalf("body = %+v", body)
+	}
+	if got := s.stats.panics.Load(); got != 1 {
+		t.Fatalf("panic counter = %d, want 1", got)
+	}
+	// The server keeps serving after the panic.
+	if code := getJSON(t, ts.Client(), ts.URL+"/again", nil); code != http.StatusInternalServerError {
+		t.Fatalf("second request status %d", code)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRequestLogging(t *testing.T) {
+	var buf syncBuffer
+	s := newTestServer(t, func(c *Config) {
+		c.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getJSON(t, ts.Client(), ts.URL+"/v1/score?source=1&target=2", nil)
+	// The access log line is emitted after the response is written; poll
+	// briefly rather than racing it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if strings.Contains(buf.String(), `"path":"/v1/score"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no access log line; log output:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	line := buf.String()
+	for _, want := range []string{`"method":"GET"`, `"status":200`, `"shed":false`, `"panic":false`, `"timeout":false`, "latency_ms"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %s:\n%s", want, line)
+		}
+	}
+}
+
+func TestNewRejectsMissingOrCorruptModel(t *testing.T) {
+	if _, err := New(Config{Logger: quietLogger()}); err == nil {
+		t.Error("empty ModelPath accepted")
+	}
+	if _, err := New(Config{ModelPath: filepath.Join(t.TempDir(), "nope.i2v"), Logger: quietLogger()}); err == nil {
+		t.Error("missing model file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.i2v")
+	if err := os.WriteFile(bad, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{ModelPath: bad, Logger: quietLogger()}); err == nil {
+		t.Error("corrupt model file accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// stats holds the server's monotonic counters. All fields are updated with
+// atomics so the /debug/statz snapshot never blocks the request path.
+type stats struct {
+	start          time.Time
+	inFlight       atomic.Int64
+	served         atomic.Int64 // requests that reached a handler and finished
+	shed           atomic.Int64 // refused with 429 at the concurrency limiter
+	panics         atomic.Int64 // handler panics converted to 500
+	timeouts       atomic.Int64 // requests that hit their deadline (504)
+	reloads        atomic.Int64 // successful hot model reloads
+	reloadFailures atomic.Int64 // rejected reloads (old model kept)
+}
+
+// Snapshot is the JSON shape of /debug/statz.
+type Snapshot struct {
+	InFlight       int64   `json:"in_flight"`
+	Served         int64   `json:"served"`
+	Shed           int64   `json:"shed"`
+	Panics         int64   `json:"panics"`
+	Timeouts       int64   `json:"timeouts"`
+	Reloads        int64   `json:"reloads"`
+	ReloadFailures int64   `json:"reload_failures"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Draining       bool    `json:"draining"`
+
+	Model ModelInfo `json:"model"`
+}
+
+// ModelInfo describes the currently-serving model.
+type ModelInfo struct {
+	Path     string `json:"path"`
+	Users    int32  `json:"users"`
+	Dim      int    `json:"dim"`
+	Bytes    int64  `json:"bytes"`
+	CRC32    string `json:"crc32"`
+	LoadedAt string `json:"loaded_at"`
+}
+
+// snapshot assembles the current counters and model metadata.
+func (s *Server) snapshot() Snapshot {
+	m := s.model.Load()
+	return Snapshot{
+		InFlight:       s.stats.inFlight.Load(),
+		Served:         s.stats.served.Load(),
+		Shed:           s.stats.shed.Load(),
+		Panics:         s.stats.panics.Load(),
+		Timeouts:       s.stats.timeouts.Load(),
+		Reloads:        s.stats.reloads.Load(),
+		ReloadFailures: s.stats.reloadFailures.Load(),
+		UptimeSeconds:  time.Since(s.stats.start).Seconds(),
+		Draining:       s.draining.Load(),
+		Model: ModelInfo{
+			Path:     m.path,
+			Users:    m.store.NumUsers(),
+			Dim:      m.store.Dim(),
+			Bytes:    m.size,
+			CRC32:    fmt.Sprintf("%08x", m.crc),
+			LoadedAt: m.loadedAt.UTC().Format(time.RFC3339Nano),
+		},
+	}
+}
