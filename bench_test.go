@@ -37,8 +37,14 @@ var (
 	benchSuite     *experiments.Suite
 )
 
-// suite returns the shared full-scale experiment suite.
-func suite() *experiments.Suite {
+// suite returns the shared full-scale experiment suite. Full-scale runs take
+// minutes per section, so these benches are excluded from -short smoke runs
+// (CI executes `go test -short -bench . -benchtime=1x`; the small-scale
+// ablation benches below still run there).
+func suite(b *testing.B) *experiments.Suite {
+	if testing.Short() {
+		b.Skip("full-scale paper reproduction skipped in -short mode")
+	}
 	benchSuiteOnce.Do(func() {
 		benchSuite = experiments.NewSuite(experiments.Options{Seed: 1})
 	})
@@ -56,7 +62,7 @@ func printFirst(key string, render func()) {
 }
 
 func BenchmarkTableI_DatasetStats(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.TableI()
 		if err != nil {
@@ -71,7 +77,7 @@ func BenchmarkTableI_DatasetStats(b *testing.B) {
 }
 
 func BenchmarkFigure1_SourceFrequency(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure1()
 		if err != nil {
@@ -87,7 +93,7 @@ func BenchmarkFigure1_SourceFrequency(b *testing.B) {
 }
 
 func BenchmarkFigure2_TargetFrequency(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure2()
 		if err != nil {
@@ -103,7 +109,7 @@ func BenchmarkFigure2_TargetFrequency(b *testing.B) {
 }
 
 func BenchmarkFigure3_PriorFriendsCDF(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure3()
 		if err != nil {
@@ -133,7 +139,7 @@ func reportInf2vec(b *testing.B, results []experiments.DatasetResults, prefix st
 }
 
 func BenchmarkTableII_ActivationPrediction(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		results, err := s.TableII()
 		if err != nil {
@@ -149,7 +155,7 @@ func BenchmarkTableII_ActivationPrediction(b *testing.B) {
 }
 
 func BenchmarkTableIII_DiffusionPrediction(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		results, err := s.TableIII()
 		if err != nil {
@@ -165,7 +171,7 @@ func BenchmarkTableIII_DiffusionPrediction(b *testing.B) {
 }
 
 func BenchmarkTableIV_Inf2vecL(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.TableIV()
 		if err != nil {
@@ -181,7 +187,7 @@ func BenchmarkTableIV_Inf2vecL(b *testing.B) {
 }
 
 func BenchmarkTableV_Aggregators(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := s.TableV()
 		if err != nil {
@@ -196,7 +202,7 @@ func BenchmarkTableV_Aggregators(b *testing.B) {
 }
 
 func BenchmarkFigure6_Visualization(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure6()
 		if err != nil {
@@ -216,7 +222,7 @@ func BenchmarkFigure6_Visualization(b *testing.B) {
 }
 
 func BenchmarkFigure7_DimensionSweep(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure7()
 		if err != nil {
@@ -231,7 +237,7 @@ func BenchmarkFigure7_DimensionSweep(b *testing.B) {
 }
 
 func BenchmarkFigure8_ContextLengthSweep(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure8()
 		if err != nil {
@@ -246,7 +252,7 @@ func BenchmarkFigure8_ContextLengthSweep(b *testing.B) {
 }
 
 func BenchmarkFigure9_IterationTime(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		figs, err := s.Figure9()
 		if err != nil {
@@ -279,7 +285,7 @@ func BenchmarkFigure9_IterationTime(b *testing.B) {
 }
 
 func BenchmarkTableVI_CitationCaseStudy(b *testing.B) {
-	s := suite()
+	s := suite(b)
 	for i := 0; i < b.N; i++ {
 		res, err := s.TableVI()
 		if err != nil {

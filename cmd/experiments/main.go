@@ -8,6 +8,7 @@
 //	experiments -run table2,fig9   # selected experiments
 //	experiments -quick             # reduced scale (~10x faster, noisier)
 //	experiments -svg ./figs        # additionally write Figure 6 SVG panels
+//	experiments -telemetry-out t.jsonl  # JSONL training telemetry for every run
 package main
 
 import (
@@ -21,7 +22,9 @@ import (
 	"syscall"
 	"time"
 
+	"inf2vec/internal/core"
 	"inf2vec/internal/experiments"
+	"inf2vec/internal/obs"
 	"inf2vec/internal/tsne"
 )
 
@@ -30,8 +33,14 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
+	telemetryOut := flag.String("telemetry-out", "", "append one JSON training event per line to this file (all Inf2vec runs)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Printf("experiments %s (%s)\n", obs.Version(), obs.GoVersion())
+		return
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -41,7 +50,7 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	if err := runAll(ctx, *run, *quick, *seed, *svgDir); err != nil {
+	if err := runAll(ctx, *run, *quick, *seed, *svgDir, *telemetryOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -54,7 +63,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
 }
 
-func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir string) error {
+func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir, telemetryOut string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
@@ -75,7 +84,20 @@ func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir st
 		return all || want[name]
 	}
 
-	s := experiments.NewSuite(experiments.Options{Seed: seed, Quick: quick})
+	opts := experiments.Options{Seed: seed, Quick: quick}
+	if telemetryOut != "" {
+		sink, err := obs.CreateJSONL(telemetryOut)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		opts.Telemetry = func(e core.Event) {
+			if err := sink.Write(e); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing telemetry event:", err)
+			}
+		}
+	}
+	s := experiments.NewSuite(opts)
 	out := os.Stdout
 	start := time.Now()
 

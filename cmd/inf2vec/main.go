@@ -16,18 +16,26 @@
 // training state atomically, -resume continues from it, and SIGINT/SIGTERM
 // cancel training cleanly — the best-so-far model (and, with -checkpoint, a
 // final checkpoint) is saved before exiting.
+//
+// Observability: training progress is structured-logged to stderr
+// (-log-format, -log-level), -telemetry-out streams one JSON training event
+// per line (epoch losses, throughput, recoveries, checkpoints), and
+// -debug-addr exposes pprof and /metrics on a separate listener. Result
+// output (eval metrics, score rankings) stays on stdout.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"inf2vec"
+	"inf2vec/internal/obs"
 )
 
 func main() {
@@ -43,6 +51,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "score":
 		err = cmdScore(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Printf("inf2vec %s (%s)\n", obs.Version(), obs.GoVersion())
 	default:
 		usage()
 		os.Exit(2)
@@ -54,9 +64,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score> [flags]
+	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score|version> [flags]
   train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -seed 1]
         [-checkpoint CKPT [-checkpoint-every N] [-resume]]
+        [-telemetry-out events.jsonl] [-log-format text|json] [-log-level info] [-debug-addr :0]
   eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
   score -model M -source U [-top 10] [-agg max]`)
 }
@@ -95,6 +106,10 @@ func cmdTrain(args []string) error {
 	ckptPath := fs.String("checkpoint", "", "checkpoint file for fault-tolerant training")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every N epochs (default 1 when -checkpoint is set)")
 	resume := fs.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	telemetryOut := fs.String("telemetry-out", "", "append one JSON training event per line to this file")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,6 +119,25 @@ func cmdTrain(args []string) error {
 	if *resume && *ckptPath == "" {
 		return fmt.Errorf("train: -resume requires -checkpoint")
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr, nil)
+		if err != nil {
+			return err
+		}
+		logger.Info("debug server listening", "addr", addr)
+	}
+	var sink *obs.JSONLWriter
+	if *telemetryOut != "" {
+		sink, err = obs.CreateJSONL(*telemetryOut)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
 	g, log, err := loadData(*graphPath, *logPath)
 	if err != nil {
 		return err
@@ -112,8 +146,9 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training on %d episodes (%d actions) over %d users\n",
-		train.NumEpisodes(), train.NumActions(), g.NumNodes())
+	logger.Info("training", "version", obs.Version(),
+		"episodes", train.NumEpisodes(), "actions", train.NumActions(),
+		"users", g.NumNodes(), "workers", *workers, "iters", *iters)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +170,7 @@ func cmdTrain(args []string) error {
 		Seed:              *seed,
 		CheckpointPath:    *ckptPath,
 		CheckpointEvery:   *ckptEvery,
+		Telemetry:         trainTelemetry(logger, sink),
 	}
 	var model *inf2vec.Model
 	var stats *inf2vec.TrainStats
@@ -143,7 +179,7 @@ func cmdTrain(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("resumed from %s at epoch %d\n", *ckptPath, stats.StartEpoch)
+		logger.Info("resumed from checkpoint", "checkpoint", *ckptPath, "epoch", stats.StartEpoch)
 	} else {
 		model, stats, err = inf2vec.TrainWithStatsContext(ctx, g, train, cfg)
 		if err != nil {
@@ -151,19 +187,12 @@ func cmdTrain(args []string) error {
 		}
 	}
 	stop()
-	for i, loss := range stats.EpochLoss {
-		fmt.Printf("  epoch %2d: loss %.4f (%.2fs)\n", i+1, loss, stats.EpochSeconds[i])
-	}
-	for _, rec := range stats.Recoveries {
-		fmt.Printf("  recovered from divergence after epoch %d (lr scale %.4g, reinit=%t)\n",
-			rec.Epoch+1, rec.LRScale, rec.Reinit)
-	}
 	if err := model.SaveFile(*modelPath); err != nil {
 		return err
 	}
 	if stats.Canceled {
-		fmt.Printf("interrupted after %d epochs; saved best-so-far model to %s\n",
-			len(stats.EpochLoss), *modelPath)
+		logger.Warn("interrupted; saved best-so-far model",
+			"epochs", len(stats.EpochLoss), "model", *modelPath)
 		if *ckptPath != "" {
 			// Replay the flags the user actually set: the checkpoint only
 			// accepts a resume under the same hyperparameters.
@@ -173,12 +202,34 @@ func cmdTrain(args []string) error {
 					hint = append(hint, "-"+f.Name, f.Value.String())
 				}
 			})
-			fmt.Printf("resume with: %s -resume\n", strings.Join(hint, " "))
+			logger.Info("resume hint", "cmd", strings.Join(hint, " ")+" -resume")
 		}
 		return nil
 	}
-	fmt.Printf("saved model (%d users x K=%d) to %s\n", model.NumUsers(), model.Dim(), *modelPath)
+	logger.Info("saved model", "users", model.NumUsers(), "dim", model.Dim(), "model", *modelPath)
 	return nil
+}
+
+// trainTelemetry fans training events out to the structured log and, when
+// set, the JSONL sink.
+func trainTelemetry(logger *slog.Logger, sink *obs.JSONLWriter) func(inf2vec.TrainEvent) {
+	return func(e inf2vec.TrainEvent) {
+		if sink != nil {
+			if err := sink.Write(e); err != nil {
+				logger.Error("writing telemetry event", "err", err)
+			}
+		}
+		switch e.Kind {
+		case inf2vec.EventEpochEnd:
+			logger.Info("epoch", "epoch", e.Epoch, "loss", e.Loss,
+				"seconds", e.DurationSeconds, "examples_per_sec", e.ExamplesPerSec, "lr", e.LearningRate)
+		case inf2vec.EventDivergenceRecovery:
+			logger.Warn("recovered from divergence",
+				"epoch", e.Epoch, "lr_scale", e.LRScale, "reinit", e.Reinit)
+		case inf2vec.EventCheckpointWritten:
+			logger.Debug("checkpoint written", "epoch", e.Epoch, "checkpoint", e.CheckpointPath)
+		}
+	}
 }
 
 func cmdEval(args []string) error {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrainTelemetryJSONL is the acceptance test for -telemetry-out: the
+// file must hold one parseable JSON object per line, with one epoch_end
+// record per epoch carrying the loss and a positive examples/sec.
+func TestTrainTelemetryJSONL(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.i2v")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+
+	const iters = 3
+	if err := cmdTrain([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-dim", "8", "-len", "10", "-iters", "3", "-seed", "1",
+		"-telemetry-out", eventsPath, "-log-format", "json", "-log-level", "warn",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var kinds []string
+	epochEnds := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Event          string  `json:"event"`
+			T              string  `json:"t"`
+			Epoch          int     `json:"epoch"`
+			Loss           float64 `json:"loss"`
+			ExamplesPerSec float64 `json:"examples_per_sec"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q is not JSON: %v", sc.Text(), err)
+		}
+		if e.Event == "" || e.T == "" {
+			t.Fatalf("line %q missing event kind or timestamp", sc.Text())
+		}
+		kinds = append(kinds, e.Event)
+		if e.Event == "epoch_end" {
+			epochEnds++
+			if e.Epoch != epochEnds {
+				t.Errorf("epoch_end %d has epoch=%d", epochEnds, e.Epoch)
+			}
+			if e.Loss == 0 || e.ExamplesPerSec <= 0 {
+				t.Errorf("epoch_end %d: loss=%v examples_per_sec=%v, want nonzero loss and positive throughput",
+					epochEnds, e.Loss, e.ExamplesPerSec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if epochEnds != iters {
+		t.Errorf("epoch_end records = %d, want %d\nstream: %v", epochEnds, iters, kinds)
+	}
+	if len(kinds) == 0 || kinds[0] != "train_start" || kinds[len(kinds)-1] != "train_end" {
+		t.Errorf("stream must open with train_start and close with train_end: %v", kinds)
+	}
+}
+
+func TestTrainRejectsBadLogFlags(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	base := []string{"-graph", graphPath, "-log", logPath}
+	if err := cmdTrain(append(base, "-log-format", "xml")); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+	if err := cmdTrain(append(base, "-log-level", "loud")); err == nil {
+		t.Error("bad -log-level accepted")
+	}
+}

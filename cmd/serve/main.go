@@ -11,7 +11,10 @@
 //	GET  /v1/score?source=U&target=V                 pair influence score x(u,v)
 //	POST /v1/activation  {"active":[..],"candidate":V,"agg":"ave"}
 //	GET  /v1/topk?source=U&k=10&agg=max              top-k most-influenced users
-//	GET  /healthz   GET /readyz   GET /debug/statz
+//	GET  /healthz   GET /readyz   GET /debug/statz   GET /metrics
+//
+// -debug-addr starts a second listener with net/http/pprof profiles and a
+// /metrics mirror, kept off the public address. -version prints build info.
 //
 // Operational signals:
 //
@@ -26,10 +29,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log/slog"
 	"os"
 	"time"
 
+	"inf2vec/internal/obs"
 	"inf2vec/internal/serve"
 )
 
@@ -48,13 +51,24 @@ func run(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap for the per-request ?timeout_ms= override")
 	maxInFlight := fs.Int("max-inflight", 256, "concurrent API requests before load shedding (429)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this second address (e.g. localhost:6060)")
+	logFormat := fs.String("log-format", "json", "log format: text or json")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Printf("serve %s (%s)\n", obs.Version(), obs.GoVersion())
+		return nil
 	}
 	if *model == "" {
 		return fmt.Errorf("-model is required")
 	}
-	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
 		ModelPath:      *model,
@@ -66,6 +80,13 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		bound, err := obs.StartDebugServer(*debugAddr, s.Metrics())
+		if err != nil {
+			return err
+		}
+		logger.Info("debug server listening", "addr", bound)
 	}
 	return s.Run(context.Background())
 }

@@ -15,4 +15,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus-flag"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"-model", "m.i2v", "-log-format", "xml"}); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}
+
+// TestVersionFlag pins that -version exits before requiring -model.
+func TestVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Errorf("-version: %v", err)
+	}
 }

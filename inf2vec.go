@@ -143,6 +143,25 @@ type Model struct {
 // was re-initialized rather than rolled back to a checkpoint.
 type Recovery = core.Recovery
 
+// TrainEvent is one typed training-telemetry record, delivered synchronously
+// on the training goroutine when Config.Telemetry is set. Marshal one per
+// line for a JSONL telemetry stream.
+type TrainEvent = core.Event
+
+// TrainEventKind discriminates TrainEvent records.
+type TrainEventKind = core.EventKind
+
+// The training-telemetry milestones. See the core documentation for the
+// fields each kind populates.
+const (
+	EventTrainStart         = core.EventTrainStart
+	EventEpochStart         = core.EventEpochStart
+	EventEpochEnd           = core.EventEpochEnd
+	EventDivergenceRecovery = core.EventDivergenceRecovery
+	EventCheckpointWritten  = core.EventCheckpointWritten
+	EventTrainEnd           = core.EventTrainEnd
+)
+
 // ErrDiverged is returned when training produces non-finite parameters and
 // the bounded divergence recovery fails to restore a finite trajectory.
 var ErrDiverged = core.ErrDiverged

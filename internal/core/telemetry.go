@@ -1,0 +1,74 @@
+package core
+
+import "time"
+
+// EventKind names one training-telemetry milestone.
+type EventKind string
+
+const (
+	// EventTrainStart is emitted once per Train/Resume call, after context
+	// generation: carries the corpus shape and the first epoch to run.
+	EventTrainStart EventKind = "train_start"
+	// EventEpochStart is emitted before each SGD pass with the (1-based)
+	// epoch about to run and the step size it will use.
+	EventEpochStart EventKind = "epoch_start"
+	// EventEpochEnd is emitted after each completed pass with the loss,
+	// wall-clock duration and throughput of that pass.
+	EventEpochEnd EventKind = "epoch_end"
+	// EventDivergenceRecovery is emitted when a pass left non-finite
+	// parameters and the trainer rolled back (or re-initialized) at a halved
+	// learning rate.
+	EventDivergenceRecovery EventKind = "divergence_recovery"
+	// EventCheckpointWritten is emitted after a durable checkpoint reaches
+	// disk.
+	EventCheckpointWritten EventKind = "checkpoint_written"
+	// EventTrainEnd is emitted once per run that returns a model (completed
+	// or canceled); error returns emit nothing further.
+	EventTrainEnd EventKind = "train_end"
+)
+
+// Event is one typed training-telemetry record. Fields beyond Kind and Time
+// are populated per kind (see the kind constants); zero-valued fields are
+// omitted from JSON so a JSONL stream stays compact and greppable.
+//
+// Consumers receive events synchronously on the training goroutine, in
+// order; a slow consumer slows training, so sinks should be cheap (buffered
+// file writes, channel sends) rather than blocking I/O.
+type Event struct {
+	Kind EventKind `json:"event"`
+	// Time is stamped by the trainer when the event is emitted.
+	Time time.Time `json:"t"`
+	// Epoch is the 1-based epoch the event describes.
+	Epoch int `json:"epoch,omitempty"`
+	// Epochs is the total number of configured iterations (train_start) or
+	// completed epochs (train_end).
+	Epochs int `json:"epochs,omitempty"`
+	// Loss is the mean Eq. 4 objective per positive for the pass.
+	Loss float64 `json:"loss,omitempty"`
+	// DurationSeconds is the wall-clock time of the pass.
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// ExamplesPerSec is positive examples processed per second in the pass.
+	ExamplesPerSec float64 `json:"examples_per_sec,omitempty"`
+	// LearningRate is the effective step size of the pass (after decay and
+	// divergence-recovery scaling).
+	LearningRate float64 `json:"lr,omitempty"`
+	// NumTuples and NumPositives describe the generated corpus (train_start).
+	NumTuples    int   `json:"tuples,omitempty"`
+	NumPositives int64 `json:"positives,omitempty"`
+	// LRScale and Reinit mirror Recovery (divergence_recovery).
+	LRScale float64 `json:"lr_scale,omitempty"`
+	Reinit  bool    `json:"reinit,omitempty"`
+	// CheckpointPath is the file a checkpoint was written to.
+	CheckpointPath string `json:"checkpoint,omitempty"`
+	// Canceled reports an early stop via context cancellation (train_end).
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// emit stamps and delivers an event when a telemetry sink is configured.
+func (cfg *Config) emit(e Event) {
+	if cfg.Telemetry == nil {
+		return
+	}
+	e.Time = time.Now()
+	cfg.Telemetry(e)
+}

@@ -197,6 +197,8 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		// Nothing to learn from (empty or influence-free log): return the
 		// random-initialized model rather than failing, mirroring how the
 		// paper's method degrades on propagation-free data.
+		cfg.emit(Event{Kind: EventTrainStart, Epochs: cfg.Iterations})
+		cfg.emit(Event{Kind: EventTrainEnd})
 		return res, nil
 	}
 
@@ -236,6 +238,10 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		snap = resume
 		snap.Store = store.Clone()
 	}
+	cfg.emit(Event{
+		Kind: EventTrainStart, Epoch: epoch + 1, Epochs: cfg.Iterations,
+		NumTuples: res.NumTuples, NumPositives: res.NumPositives,
+	})
 
 	// capture assembles the current training state; the store is shared, so
 	// callers writing to disk can stream it and callers keeping a rollback
@@ -271,6 +277,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 			if err := checkpoint.SaveFile(cfg.CheckpointPath, st); err != nil {
 				return fmt.Errorf("core: %w", err)
 			}
+			cfg.emit(Event{Kind: EventCheckpointWritten, Epoch: epoch, CheckpointPath: cfg.CheckpointPath})
 		}
 		st.Store = store.Clone()
 		snap = st
@@ -300,6 +307,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 					return nil, err
 				}
 			}
+			cfg.emit(Event{Kind: EventTrainEnd, Epochs: epoch, Canceled: true})
 			return res, nil
 		}
 		if cfg.RegenerateContexts && res.regen != nil {
@@ -317,13 +325,16 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 			}
 		}
 		order := orderRNG.Perm(len(corpus.Tuples))
+		gamma := gammaAt(cfg, epoch, lrScale)
+		cfg.emit(Event{Kind: EventEpochStart, Epoch: epoch + 1, LearningRate: float64(gamma)})
 		t0 := time.Now()
-		totalLoss, totalPos := runEpoch(done, store, corpus.Tuples, order, neg, cfg, gammaAt(cfg, epoch, lrScale), workerRNGs)
+		totalLoss, totalPos := runEpoch(done, store, corpus.Tuples, order, neg, cfg, gamma, workerRNGs)
 		if ctx.Err() != nil {
 			// Canceled mid-pass: workers drained early, the store holds a
 			// usable partial update but not an epoch boundary, so the pass
 			// is neither recorded nor checkpointed.
 			res.Canceled = true
+			cfg.emit(Event{Kind: EventTrainEnd, Epochs: epoch, Canceled: true})
 			return res, nil
 		}
 		stat := EpochStat{Duration: time.Since(t0)}
@@ -332,6 +343,15 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		}
 		res.Epochs = append(res.Epochs, stat)
 		epoch++
+		perSec := 0.0
+		if s := stat.Duration.Seconds(); s > 0 {
+			perSec = float64(totalPos) / s
+		}
+		cfg.emit(Event{
+			Kind: EventEpochEnd, Epoch: epoch, Loss: stat.Loss,
+			DurationSeconds: stat.Duration.Seconds(), ExamplesPerSec: perSec,
+			LearningRate: float64(gamma),
+		})
 		if testAfterEpoch != nil {
 			testAfterEpoch(epoch, store)
 		}
@@ -342,6 +362,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 			retries++
 			lrScale /= 2
 			res.Recoveries = append(res.Recoveries, Recovery{Epoch: epoch - 1, LRScale: lrScale, Reinit: snap == nil})
+		cfg.emit(Event{Kind: EventDivergenceRecovery, Epoch: epoch, LRScale: lrScale, Reinit: snap == nil})
 			if snap != nil {
 				rollback(snap)
 			} else {
@@ -359,6 +380,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 			}
 		}
 	}
+	cfg.emit(Event{Kind: EventTrainEnd, Epochs: epoch})
 	return res, nil
 }
 

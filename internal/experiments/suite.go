@@ -44,6 +44,10 @@ type Options struct {
 	Inf2vecRuns int
 	// Workers for hogwild training. Zero selects min(NumCPU, 8).
 	Workers int
+	// Telemetry, when non-nil, receives the training events of every
+	// Inf2vec run the suite performs (see core.Event). Events from distinct
+	// runs share one stream; train_start records delimit them.
+	Telemetry func(core.Event)
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +198,7 @@ func (s *Suite) inf2vecConfig(seed uint64) core.Config {
 		Iterations:        35,
 		Workers:           s.opts.Workers,
 		Seed:              seed,
+		Telemetry:         s.opts.Telemetry,
 	}
 	if s.opts.Quick {
 		cfg.Dim = 16

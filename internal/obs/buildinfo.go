@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns the best build identifier the binary carries: the module
+// version when built from a tagged module, else the (possibly -dirty) VCS
+// revision stamped by `go build`, else "devel". Intended for -version flags,
+// startup logs and build-info gauges.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && dirty {
+		rev += "-dirty"
+	}
+	switch {
+	case v != "" && rev != "" && !strings.Contains(v, rev[:min(len(rev), 12)]):
+		// A VCS-stamped pseudo-version already embeds the short revision;
+		// only append it when the module version lacks it.
+		return v + "+" + rev
+	case v != "":
+		return v
+	case rev != "":
+		return rev
+	}
+	return "devel"
+}
+
+// GoVersion returns the Go toolchain version the binary was built with.
+func GoVersion() string { return runtime.Version() }
+
+// RegisterBuildInfo adds the conventional always-1 info gauge
+// <prefix>_build_info{version,go} to reg and returns the version string, so
+// callers can also log it at startup.
+func RegisterBuildInfo(reg *Registry, prefix string) string {
+	v := Version()
+	reg.Gauge(prefix+"_build_info",
+		"Build information for the running binary; always 1, with the version and Go toolchain as labels.",
+		"version", "go").With(v, GoVersion()).Set(1)
+	return v
+}

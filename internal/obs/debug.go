@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux returns a mux exposing net/http/pprof under /debug/pprof/,
+// wired explicitly rather than through http.DefaultServeMux so importing
+// this package never leaks profiling routes onto a production handler.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer starts the opt-in debug listener on addr in the
+// background, serving pprof and — when reg is non-nil — the registry at
+// /metrics. It returns the bound address (useful with ":0"). The listener
+// lives for the rest of the process: debug servers are enabled explicitly
+// and torn down with the process, so no shutdown plumbing is offered.
+func StartDebugServer(addr string, reg *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := DebugMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, series sorted by label values, histograms
+// expanded into cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		if f.fn != nil {
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(f.fn()))
+			bw.WriteByte('\n')
+			continue
+		}
+		for _, s := range f.sortedSeries() {
+			switch f.typ {
+			case counterType:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", strconv.FormatUint(s.c.Value(), 10))
+			case gaugeType:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", formatFloat(s.g.Value()))
+			case histogramType:
+				counts := s.h.snapshotBuckets()
+				cum := uint64(0)
+				for i, upper := range s.h.uppers {
+					cum += counts[i]
+					writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(upper), strconv.FormatUint(cum, 10))
+				}
+				cum += counts[len(counts)-1]
+				writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", strconv.FormatUint(cum, 10))
+				writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(s.h.Sum()))
+				writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatUint(s.h.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving WriteText — the /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		// Past the header there is no way to signal a write error; the
+		// registry itself cannot fail to render.
+		_ = r.WriteText(w)
+	})
+}
+
+// writeSample emits one exposition line: name{labels...} value. extraName,
+// when non-empty, appends one more label (the histogram "le" bound).
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, sample string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(sample)
+	bw.WriteByte('\n')
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeHelp escapes a HELP line per the exposition format: backslash and
+// newline.
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the exposition format's spellings for the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram upper bounds, in seconds, spanning
+// sub-millisecond handler latencies up to multi-second training epochs (the
+// same spread Prometheus client libraries default to).
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// normalizeBuckets sorts and deduplicates bounds, rejecting non-finite ones
+// (the +Inf bucket is implicit). Nil or empty selects DefBuckets.
+func normalizeBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		return append([]float64(nil), DefBuckets...)
+	}
+	out := append([]float64(nil), buckets...)
+	sort.Float64s(out)
+	dedup := out[:1]
+	for _, b := range out[1:] {
+		if b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	for _, b := range dedup {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic("obs: histogram bucket bounds must be finite")
+		}
+	}
+	return dedup
+}
+
+// Histogram counts observations into fixed buckets, tracking the total count
+// and sum. Observe is a lock-free atomic hot path; readers (exposition,
+// Quantile) see a statistically — not transactionally — consistent snapshot,
+// which is the standard monitoring trade-off.
+type Histogram struct {
+	uppers []float64       // sorted finite upper bounds
+	counts []atomic.Uint64 // len(uppers)+1; the last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+}
+
+// Observe records v into its bucket (Prometheus le semantics: the first
+// bucket whose upper bound is >= v).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// snapshotBuckets returns the per-bucket (non-cumulative) counts.
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly within the bucket that contains the target rank —
+// the same estimate Prometheus's histogram_quantile computes server-side.
+// The lower bound of the first bucket is taken as 0 (or its upper bound if
+// that is negative); observations in the +Inf bucket clamp to the largest
+// finite bound. Returns NaN for an empty histogram or q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q < 0 || q > 1 || len(h.uppers) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	counts := h.snapshotBuckets()
+	cum := uint64(0)
+	lower := 0.0
+	if h.uppers[0] < 0 {
+		lower = h.uppers[0]
+	}
+	for i, upper := range h.uppers {
+		c := counts[i]
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = upper
+	}
+	return h.uppers[len(h.uppers)-1]
+}
+
+// atomicFloat is a float64 updated by CAS on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }

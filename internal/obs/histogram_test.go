@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketBoundariesExact(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v)
+	}
+	h.Observe(2)   // exactly on the second bound
+	h.Observe(3)   // inside (2,4]
+	h.Observe(4)   // exactly on the last finite bound
+	h.Observe(4.1) // +Inf overflow
+	want := []uint64{2, 1, 2, 1}
+	got := h.snapshotBuckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if math.Abs(h.Sum()-(0.5+1+2+3+4+4.1)) > 1e-9 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestNormalizeBuckets(t *testing.T) {
+	got := normalizeBuckets([]float64{4, 1, 2, 2, 1})
+	want := []float64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("normalize = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("normalize = %v, want %v", got, want)
+		}
+	}
+	if def := normalizeBuckets(nil); len(def) != len(DefBuckets) {
+		t.Errorf("nil buckets did not select DefBuckets: %v", def)
+	}
+	mustPanic(t, "inf bucket", func() { normalizeBuckets([]float64{1, math.Inf(1)}) })
+}
+
+// TestQuantileExact pins the interpolation arithmetic on constructed
+// inputs whose quantiles have closed-form answers.
+func TestQuantileExact(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 2, 4} {
+		h.Observe(v)
+	}
+	// Ranks: total=4. q=0.5 -> rank 2; bucket le=2 holds ranks (1,3],
+	// interpolate: lower 1 + (2-1) * (2-1)/2 = 1.5.
+	cases := []struct{ q, want float64 }{
+		{0, 0},      // rank 0 is the first nonempty bucket's lower bound
+		{0.25, 1},   // rank 1 is the whole first bucket: 0 + (1-0)*1/1
+		{0.5, 1.5},  // mid of bucket (1,2]
+		{0.75, 2},   // rank 3 exhausts bucket (1,2]
+		{1, 4},      // rank 4 exhausts bucket (2,4]
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Error("out-of-range q must be NaN")
+	}
+	if !math.IsNaN(newHistogram([]float64{1}).Quantile(0.5)) {
+		t.Error("empty histogram quantile must be NaN")
+	}
+}
+
+func TestQuantileOverflowClamps(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 observations spread one per unit across (0,100] in ten buckets of
+	// ten: every decile is exact under linear interpolation.
+	uppers := make([]float64, 10)
+	for i := range uppers {
+		uppers[i] = float64((i + 1) * 10)
+	}
+	h := newHistogram(uppers)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for q := 1; q <= 10; q++ {
+		want := float64(q * 10)
+		if got := h.Quantile(float64(q) / 10); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", float64(q)/10, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLWriter serializes values as one JSON object per line — the training
+// telemetry sink. Writes are serialized by a mutex, so one writer can be
+// shared by concurrent emitters.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	c   io.Closer // non-nil when the writer owns the underlying file
+}
+
+// NewJSONLWriter wraps w. Close is a no-op for writers built this way; the
+// caller owns w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// CreateJSONL creates (truncating) the file at path and returns a writer
+// that owns it; Close flushes and closes the file.
+func CreateJSONL(path string) (*JSONLWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: telemetry sink: %w", err)
+	}
+	return &JSONLWriter{enc: json.NewEncoder(f), c: f}, nil
+}
+
+// Write appends v as one JSON line.
+func (j *JSONLWriter) Write(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enc.Encode(v)
+}
+
+// Close closes the underlying file when the writer owns one.
+func (j *JSONLWriter) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c == nil {
+		return nil
+	}
+	err := j.c.Close()
+	j.c = nil
+	return err
+}

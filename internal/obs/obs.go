@@ -1,0 +1,271 @@
+// Package obs is the repository's stdlib-only observability kit: a metrics
+// registry (atomic counters, gauges and fixed-bucket histograms) with
+// Prometheus text-format exposition, a JSONL sink for training telemetry,
+// build-info helpers, and an opt-in pprof debug listener.
+//
+// The registry is the single source of truth for every counter a process
+// maintains: the serving layer's /metrics endpoint and its legacy
+// /debug/statz snapshot both read from it, so the two can never disagree.
+//
+// Metric families are registered once (Counter/Gauge/Histogram, optionally
+// with label names) and series are materialized on first use:
+//
+//	reg := obs.NewRegistry()
+//	reqs := reg.Counter("http_requests_total", "Requests by route.", "route")
+//	reqs.With("/v1/score").Inc()
+//
+// All series operations are lock-free atomics, safe for concurrent writers;
+// registration and series creation take locks and are meant for setup and
+// low-frequency paths.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType discriminates the three family kinds.
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and a set of series.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64      // histogramType only
+	fn      func() float64 // non-nil for func gauges; has no series
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by joined label values
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// seriesKey joins label values with a separator that escaped label values
+// cannot contain.
+func seriesKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// register adds (or fetches) a family, panicking on a schema conflict —
+// re-registering a name with a different type, label set or bucket layout is
+// a programming error, like redeclaring a variable.
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64, fn func() float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) || !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		fn:      fn,
+		series:  make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// with returns the family's series for the given label values, creating it
+// on first use.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case counterType:
+		s.c = &Counter{}
+	case gaugeType:
+		s.g = &Gauge{}
+	case histogramType:
+		s.h = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+// sortedSeries snapshots the family's series ordered by label values, for
+// deterministic exposition.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.series[k])
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// Counter registers (or fetches) a monotonically increasing counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, counterType, labels, nil, nil)}
+}
+
+// Gauge registers (or fetches) a gauge family: a value that can go up and
+// down.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, gaugeType, labels, nil, nil)}
+}
+
+// GaugeFunc registers an unlabeled gauge whose value is computed by fn at
+// exposition time (e.g. uptime).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic("obs: nil GaugeFunc")
+	}
+	r.register(name, help, gaugeType, nil, nil, fn)
+}
+
+// Histogram registers (or fetches) a histogram family over the given upper
+// bucket bounds (Prometheus "le" semantics: a bucket counts observations
+// less than or equal to its bound; an implicit +Inf bucket catches the
+// rest). Nil or empty buckets select DefBuckets. Bounds are sorted and
+// deduplicated; they must be finite.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	buckets = normalizeBuckets(buckets)
+	return &HistogramVec{r.register(name, help, histogramType, labels, buckets, nil)}
+}
+
+// CounterVec is a family of counters, one per label-value combination.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on first
+// use. With no registered labels, With() returns the single series.
+func (v *CounterVec) With(labelValues ...string) *Counter { return v.f.with(labelValues).c }
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// GaugeVec is a family of gauges, one per label-value combination.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge { return v.f.with(labelValues).g }
+
+// Reset drops every series of the family. Used by info-style gauges whose
+// label values change at runtime (e.g. the serving model's checksum after a
+// hot reload) so stale series do not linger in the exposition.
+func (v *GaugeVec) Reset() {
+	v.f.mu.Lock()
+	v.f.series = make(map[string]*series)
+	v.f.mu.Unlock()
+}
+
+// Gauge is an atomically updated float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// HistogramVec is a family of histograms, one per label-value combination.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.with(labelValues).h }

@@ -1,0 +1,404 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests.", "route")
+	c.With("/a").Inc()
+	c.With("/a").Add(2)
+	c.With("/b").Inc()
+	if got := c.With("/a").Value(); got != 3 {
+		t.Errorf("counter /a = %d, want 3", got)
+	}
+	if got := c.With("/b").Value(); got != 1 {
+		t.Errorf("counter /b = %d, want 1", got)
+	}
+
+	g := reg.Gauge("inflight", "In flight.")
+	g.With().Add(1)
+	g.With().Add(1)
+	g.With().Add(-1)
+	if got := g.With().Value(); got != 1 {
+		t.Errorf("gauge = %v, want 1", got)
+	}
+	g.With().Set(42.5)
+	if got := g.With().Value(); got != 42.5 {
+		t.Errorf("gauge = %v, want 42.5", got)
+	}
+}
+
+func TestReRegistrationRules(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c_total", "help", "x")
+	b := reg.Counter("c_total", "help", "x")
+	if a.f != b.f {
+		t.Error("identical re-registration did not return the same family")
+	}
+	mustPanic(t, "type conflict", func() { reg.Gauge("c_total", "help", "x") })
+	mustPanic(t, "label conflict", func() { reg.Counter("c_total", "help", "y") })
+	mustPanic(t, "wrong label arity", func() { a.With("1", "2") })
+	mustPanic(t, "empty name", func() { reg.Counter("", "help") })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	fn()
+}
+
+// expositionLine matches one valid sample line of the text format.
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// parseExposition validates the full text-format grammar line by line and
+// returns sample-line values keyed by the full series spelling.
+func parseExposition(t *testing.T, text string) map[string]string {
+	t.Helper()
+	samples := map[string]string{}
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var lastMeta string // family the preceding HELP/TYPE lines describe
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			lastMeta = name
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if fields[0] != lastMeta {
+				t.Fatalf("TYPE for %q not preceded by its HELP (last %q)", fields[0], lastMeta)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q", fields[1])
+			}
+			typed[fields[0]] = true
+		default:
+			if !expositionLine.MatchString(line) {
+				t.Fatalf("invalid sample line: %q", line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if !typed[name] && !typed[base] {
+				t.Fatalf("sample %q precedes its TYPE line", line)
+			}
+			key, _ := splitSample(line)
+			samples[key] = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	return samples
+}
+
+func splitSample(line string) (key, value string) {
+	i := strings.LastIndex(line, " ")
+	return line[:i], line[i+1:]
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Total requests by route and code.", "route", "code")
+	c.With("/v1/score", "200").Add(7)
+	c.With("/v1/topk", "404").Inc()
+	reg.Gauge("temperature", "Current temperature.").With().Set(-3.5)
+	reg.GaugeFunc("uptime_seconds", "Uptime.", func() float64 { return 12.25 })
+	h := reg.Histogram("latency_seconds", "Latency.", []float64{0.1, 0.5}, "route")
+	h.With("/v1/score").Observe(0.05)
+	h.With("/v1/score").Observe(0.3)
+	h.With("/v1/score").Observe(2)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	want := map[string]string{
+		`requests_total{route="/v1/score",code="200"}`:  "7",
+		`requests_total{route="/v1/topk",code="404"}`:   "1",
+		`temperature`:                                   "-3.5",
+		`uptime_seconds`:                                "12.25",
+		`latency_seconds_bucket{route="/v1/score",le="0.1"}`:  "1",
+		`latency_seconds_bucket{route="/v1/score",le="0.5"}`:  "2",
+		`latency_seconds_bucket{route="/v1/score",le="+Inf"}`: "3",
+		`latency_seconds_count{route="/v1/score"}`:            "3",
+	}
+	for key, val := range want {
+		if samples[key] != val {
+			t.Errorf("%s = %q, want %q", key, samples[key], val)
+		}
+	}
+	// Families must be sorted by name.
+	text := buf.String()
+	if strings.Index(text, "# TYPE latency_seconds ") > strings.Index(text, "# TYPE requests_total ") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("weird_total", "Help with \\ backslash\nand newline.", "path").
+		With("a\\b\"c\nd").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP weird_total Help with \\ backslash\nand newline.`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `weird_total{path="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	parseExposition(t, out) // must still be grammatically valid
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "Hits.").With().Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != TextContentType {
+		t.Errorf("content type = %q", got)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if samples := parseExposition(t, buf.String()); samples["hits_total"] != "1" {
+		t.Errorf("hits_total = %q, want 1", samples["hits_total"])
+	}
+}
+
+func TestGaugeVecReset(t *testing.T) {
+	reg := NewRegistry()
+	info := reg.Gauge("model_info", "Model info.", "crc32")
+	info.With("deadbeef").Set(1)
+	info.Reset()
+	info.With("cafef00d").Set(1)
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "deadbeef") {
+		t.Error("stale series survived Reset")
+	}
+	if !strings.Contains(buf.String(), `model_info{crc32="cafef00d"} 1`) {
+		t.Error("fresh series missing after Reset")
+	}
+}
+
+// TestConcurrentWriters drives every metric kind from many goroutines while
+// a reader renders the exposition; run under -race this is the registry's
+// data-race proof, and the final counts prove no increment was lost.
+func TestConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "Ops.", "worker")
+	g := reg.Gauge("level", "Level.")
+	h := reg.Histogram("dur_seconds", "Durations.", []float64{1, 10})
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w%2) // contend on shared series too
+			for i := 0; i < perWorker; i++ {
+				c.With(label).Inc()
+				g.With().Add(1)
+				h.With().Observe(float64(i % 12))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := reg.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := c.With("w0").Value() + c.With("w1").Value()
+	if total != workers*perWorker {
+		t.Errorf("lost counter increments: %d, want %d", total, workers*perWorker)
+	}
+	if got := g.With().Value(); got != workers*perWorker {
+		t.Errorf("lost gauge adds: %v, want %d", got, workers*perWorker)
+	}
+	if got := h.With().Count(); got != workers*perWorker {
+		t.Errorf("lost observations: %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestJSONLWriter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := CreateJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		Kind string  `json:"event"`
+		Loss float64 `json:"loss"`
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if err := w.Write(ev{Kind: "epoch_end", Loss: float64(i)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close must be a no-op:", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("got %d lines, want 100", len(lines))
+	}
+	for _, line := range lines {
+		var e ev
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("unparseable line %q: %v", line, err)
+		}
+		if e.Kind != "epoch_end" {
+			t.Fatalf("line %q: kind = %q", line, e.Kind)
+		}
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Error("Version() empty")
+	}
+	if GoVersion() == "" {
+		t.Error("GoVersion() empty")
+	}
+	reg := NewRegistry()
+	v := RegisterBuildInfo(reg, "app")
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "app_build_info{version=") || v == "" {
+		t.Errorf("build info gauge missing:\n%s", buf.String())
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.").With().Inc()
+	addr, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/debug/pprof/", "/metrics"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "Bench.", "route").With("/v1/score")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "Bench.", nil).With()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i%100) / 1000)
+			i++
+		}
+	})
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "Reqs.", "route", "code")
+	h := reg.Histogram("lat_seconds", "Lat.", nil, "route")
+	for i := 0; i < 8; i++ {
+		route := fmt.Sprintf("/v1/r%d", i)
+		c.With(route, "200").Inc()
+		h.With(route).Observe(0.01)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := reg.WriteText(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,16 +18,17 @@ const maxTopK = 10_000
 // maxBodyBytes caps JSON request bodies.
 const maxBodyBytes = 1 << 20
 
-// Handler returns the server's full HTTP handler: health and debug routes
-// plus the API routes wrapped in the robustness chain
-// logging(recovery(shedding(deadline(handler)))). Health probes bypass the
-// limiter and deadlines on purpose — a saturated server must still answer
-// its load balancer.
+// Handler returns the server's full HTTP handler: health, metrics and debug
+// routes plus the API routes wrapped in the robustness chain
+// observability(recovery(shedding(deadline(handler)))). Health probes and
+// /metrics bypass the limiter and deadlines on purpose — a saturated server
+// must still answer its load balancer and its scraper.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/statz", s.handleStatz)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 
 	api := func(h http.HandlerFunc) http.Handler {
 		return s.withShedding(s.withDeadline(h))
@@ -36,7 +37,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/activation", api(s.handleActivation))
 	mux.Handle("GET /v1/topk", api(s.handleTopK))
 
-	return s.withLogging(s.withRecovery(mux))
+	return s.withObservability(s.withRecovery(mux))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -224,13 +225,20 @@ func writeScorerError(w http.ResponseWriter, err error) {
 	}
 }
 
-// errorBody is the uniform JSON error shape.
+// errorBody is the uniform JSON error shape. RequestID carries the
+// correlation ID from the X-Request-Id header so a client error report can
+// be matched to the server's structured logs.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorBody{Error: msg})
+	body := errorBody{Error: msg}
+	if rec, ok := w.(*recorder); ok {
+		body.RequestID = rec.reqID
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitForLog polls the captured log buffer for a substring; the access log
+// line is emitted after the response is written, so tests cannot read it
+// synchronously.
+func waitForLog(t *testing.T, buf *syncBuffer, want string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(buf.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("log line with %q never appeared; log output:\n%s", want, buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// getText fetches a URL and returns status and body.
+func getText(t *testing.T, c *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// metricValue extracts one sample value from an exposition body.
+func metricValue(t *testing.T, body, series string) string {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(series) + " (.*)$")
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		getJSON(t, ts.Client(), ts.URL+"/v1/score?source=1&target=2", nil)
+	}
+	getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=1&k=3", nil)
+	getJSON(t, ts.Client(), ts.URL+"/v1/score", nil) // 400: missing params
+	getJSON(t, ts.Client(), ts.URL+"/healthz", nil)
+
+	code, body := getText(t, ts.Client(), ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for series, want := range map[string]string{
+		`inf2vec_http_requests_total{route="/v1/score",method="GET",code="200"}`: "3",
+		`inf2vec_http_requests_total{route="/v1/score",method="GET",code="400"}`: "1",
+		`inf2vec_http_requests_total{route="/v1/topk",method="GET",code="200"}`:  "1",
+		`inf2vec_http_requests_total{route="/healthz",method="GET",code="200"}`:  "1",
+		`inf2vec_http_requests_served_total`:                                     "5",
+	} {
+		if got := metricValue(t, body, series); got != want {
+			t.Errorf("%s = %q, want %q\nbody:\n%s", series, got, want, body)
+		}
+	}
+	// Latency histogram: one count per /v1/score request, plus HELP/TYPE.
+	if got := metricValue(t, body, `inf2vec_http_request_duration_seconds_count{route="/v1/score"}`); got != "4" {
+		t.Errorf("latency count = %q, want 4", got)
+	}
+	if !strings.Contains(body, "# TYPE inf2vec_http_request_duration_seconds histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+	if !strings.Contains(body, `le="+Inf"`) {
+		t.Error("missing +Inf bucket")
+	}
+	// Build and model info gauges.
+	if !strings.Contains(body, `inf2vec_build_info{version=`) {
+		t.Error("missing build info gauge")
+	}
+	if !strings.Contains(body, `inf2vec_model_info{path=`) {
+		t.Error("missing model info gauge")
+	}
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if !strings.Contains(body, `crc32="`+snap.Model.CRC32+`"`) {
+		t.Errorf("model info gauge does not carry the model CRC %s:\n%s", snap.Model.CRC32, body)
+	}
+}
+
+// TestStatzMatchesMetrics proves the two views read the same registry: a
+// mixed workload of successes, errors and panics must yield identical
+// numbers on /metrics and /debug/statz, with served + panics partitioning
+// the admitted requests.
+func TestStatzMatchesMetrics(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getJSON(t, ts.Client(), ts.URL+"/v1/score?source=1&target=2", nil)
+	getJSON(t, ts.Client(), ts.URL+"/v1/score?source=bogus&target=2", nil) // 400
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Served != 2 {
+		t.Errorf("served = %d, want 2 (4xx responses complete normally)", snap.Served)
+	}
+
+	_, body := getText(t, ts.Client(), ts.URL+"/metrics")
+	if got := metricValue(t, body, "inf2vec_http_requests_served_total"); got != "2" {
+		t.Errorf("registry served = %q, want 2", got)
+	}
+}
+
+// TestPanicNotCountedAsServed pins the served/panics classification: a
+// panicking request increments panics only.
+func TestPanicNotCountedAsServed(t *testing.T) {
+	s := newTestServer(t, nil)
+	boom := s.withObservability(s.withRecovery(s.withShedding(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { panic("boom") }))))
+	ts := httptest.NewServer(boom)
+	defer ts.Close()
+
+	if code := getJSON(t, ts.Client(), ts.URL+"/x", nil); code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", code)
+	}
+	if got := s.met.served.Value(); got != 0 {
+		t.Errorf("served = %d, want 0 (panicking request must not count)", got)
+	}
+	if got := s.met.panics.Value(); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+	if got := s.met.inFlight.Value(); got != 0 {
+		t.Errorf("inFlight = %v, want 0 (slot must be released after a panic)", got)
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	var buf syncBuffer
+	s := newTestServer(t, func(c *Config) {
+		c.Logger = slog.New(slog.NewJSONHandler(&buf, nil))
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Client-supplied ID is echoed in the response header and the error body.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/score?source=99999&target=2", nil)
+	req.Header.Set("X-Request-Id", "trace-abc.123")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "trace-abc.123" {
+		t.Errorf("echoed id = %q", got)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RequestID != "trace-abc.123" {
+		t.Errorf("error body request_id = %q", body.RequestID)
+	}
+	waitForLog(t, &buf, `"request_id":"trace-abc.123"`)
+
+	// A hostile or missing inbound ID is replaced with a generated one.
+	for _, inbound := range []string{"", `bad"id with junk`, strings.Repeat("x", 100)} {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/score?source=1&target=2", nil)
+		if inbound != "" {
+			req.Header.Set("X-Request-Id", inbound)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get("X-Request-Id")
+		if got == inbound || got == "" {
+			t.Errorf("inbound %q: response id %q, want a fresh generated id", inbound, got)
+		}
+		if !cleanRequestID(got) || len(got) > maxRequestIDLen {
+			t.Errorf("generated id %q not clean", got)
+		}
+	}
+}
+
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	for path, want := range map[string]string{
+		"/v1/score":             "/v1/score",
+		"/metrics":              "/metrics",
+		"/no/such/route":        "other",
+		"/v1/score/../../etc":   "other",
+		"/v1/scoreX":            "other",
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -2,18 +2,22 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
 )
 
-// recorder captures the response status and per-request robustness flags for
-// the structured access log. Handlers in this package are the only writers
-// of a response, so no locking is needed.
+// recorder captures the response status, the request ID and per-request
+// robustness flags for the structured access log, the metrics registry and
+// error bodies. Handlers in this package are the only writers of a response,
+// so no locking is needed.
 type recorder struct {
 	http.ResponseWriter
 	status   int
+	reqID    string
 	shed     bool
 	panicked bool
 	timedOut bool
@@ -33,28 +37,92 @@ func (r *recorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// withLogging wraps every request in a recorder and emits one structured log
-// line on completion: method, path, status, latency, and the shed / panic /
-// timeout flags set by the inner middleware.
-func (s *Server) withLogging(h http.Handler) http.Handler {
+// requestIDKey carries the request ID through the request context.
+type requestIDKey struct{}
+
+// RequestID returns the request's correlation ID, or "" outside a request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// maxRequestIDLen caps accepted client-supplied X-Request-Id values.
+const maxRequestIDLen = 64
+
+// requestID returns the inbound X-Request-Id when it is usable, otherwise a
+// fresh random ID. Client IDs are restricted to a conservative charset so a
+// hostile header cannot smuggle log- or exposition-breaking bytes.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id != "" && len(id) <= maxRequestIDLen && cleanRequestID(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown" // crypto/rand failing is effectively unreachable
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func cleanRequestID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// withObservability wraps every request in a recorder and, on completion,
+// feeds the registry (per-route request counter, latency histogram) and
+// emits one structured log line carrying the request ID, which is also
+// echoed in the X-Request-Id response header and propagated via the request
+// context to handlers and error bodies.
+func (s *Server) withObservability(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &recorder{ResponseWriter: w}
+		id := requestID(r)
+		w.Header().Set("X-Request-Id", id)
+		rec := &recorder{ResponseWriter: w, reqID: id}
 		start := time.Now()
-		h.ServeHTTP(rec, r)
+		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
 		status := rec.status
 		if status == 0 {
 			status = http.StatusOK // handler returned without writing
 		}
+		elapsed := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		s.met.requests.With(route, r.Method, strconv.Itoa(status)).Inc()
+		s.met.latency.With(route).Observe(elapsed.Seconds())
 		s.log.Info("request",
+			"request_id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", status,
-			"latency_ms", float64(time.Since(start).Microseconds())/1000,
+			"latency_ms", float64(elapsed.Microseconds())/1000,
 			"shed", rec.shed,
 			"panic", rec.panicked,
 			"timeout", rec.timedOut,
 		)
 	})
+}
+
+// knownRoutes is the fixed route-label set: labeling by raw path would let
+// clients mint unbounded metric cardinality.
+var knownRoutes = map[string]bool{
+	"/v1/score": true, "/v1/activation": true, "/v1/topk": true,
+	"/healthz": true, "/readyz": true, "/metrics": true, "/debug/statz": true,
+}
+
+// routeLabel maps a request path onto the bounded route label set.
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
 }
 
 // withRecovery converts a handler panic into a 500 response and a logged
@@ -66,8 +134,9 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 			if p == nil {
 				return
 			}
-			s.stats.panics.Add(1)
+			s.met.panics.Inc()
 			s.log.Error("handler panic",
+				"request_id", RequestID(r.Context()),
 				"method", r.Method, "path", r.URL.Path,
 				"panic", p, "stack", string(debug.Stack()))
 			if rec, ok := w.(*recorder); ok {
@@ -84,12 +153,17 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 // withShedding bounds concurrent API requests. Beyond MaxInFlight the
 // request is refused immediately with 429 + Retry-After — bounded latency
 // for the requests already admitted beats an unbounded queue.
+//
+// It also classifies every admitted request exactly once: a request that
+// returns normally counts as served; one that panics does not (the recovery
+// layer counts it under panics instead), so served + shed + panics
+// partitions the API traffic.
 func (s *Server) withShedding(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.inflight <- struct{}{}:
 		default:
-			s.stats.shed.Add(1)
+			s.met.shed.Inc()
 			if rec, ok := w.(*recorder); ok {
 				rec.shed = true
 			}
@@ -97,13 +171,20 @@ func (s *Server) withShedding(h http.Handler) http.Handler {
 			writeError(w, http.StatusTooManyRequests, "server overloaded")
 			return
 		}
-		s.stats.inFlight.Add(1)
+		s.met.inFlight.Add(1)
+		completed := false
 		defer func() {
-			s.stats.inFlight.Add(-1)
-			s.stats.served.Add(1)
+			s.met.inFlight.Add(-1)
+			if completed {
+				// A panic unwinds through here before the recovery layer has
+				// classified it; counting only normal returns keeps a
+				// panicking request out of served.
+				s.met.served.Inc()
+			}
 			<-s.inflight
 		}()
 		h.ServeHTTP(w, r)
+		completed = true
 	})
 }
 
@@ -129,7 +210,7 @@ func (s *Server) withDeadline(h http.Handler) http.Handler {
 // writeTimeout reports a deadline expiry: 504 with a JSON body, plus the
 // timeout flag for the access log and counters.
 func (s *Server) writeTimeout(w http.ResponseWriter) {
-	s.stats.timeouts.Add(1)
+	s.met.timeouts.Inc()
 	if rec, ok := w.(*recorder); ok {
 		rec.timedOut = true
 	}

@@ -9,6 +9,7 @@
 //	GET  /v1/topk?source=U&k=N&agg=max         top-k most-influenced targets
 //	GET  /healthz                              process liveness (always 200)
 //	GET  /readyz                               traffic readiness (503 while draining)
+//	GET  /metrics                              Prometheus text-format metrics
 //	GET  /debug/statz                          counter snapshot + model metadata
 //
 // Robustness layer (the point of the package, not the routes):
@@ -28,6 +29,12 @@
 //   - Hot reload: SIGHUP loads and CRC-validates the model file off the
 //     request path and atomically swaps it in; any load failure keeps the
 //     old model serving.
+//
+// Observability (internal/obs): per-endpoint request counters and latency
+// histograms feed one metrics registry that both /metrics (Prometheus text
+// format) and /debug/statz read, and every request carries a correlation ID
+// (inbound X-Request-Id or generated) that is echoed in the response header,
+// attached to every structured log line and included in JSON error bodies.
 package serve
 
 import (
@@ -43,6 +50,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"inf2vec/internal/obs"
 )
 
 // Config parameterizes a Server; zero values select production-safe
@@ -94,7 +103,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	log   *slog.Logger
-	stats stats
+	met   *serverMetrics
+	start time.Time
 
 	model    atomic.Pointer[model] // current store; swapped whole on reload
 	reloadMu sync.Mutex            // serializes reloads, not reads
@@ -118,19 +128,27 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		log:      cfg.Logger,
+		start:    time.Now(),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.met = newServerMetrics(s.start)
 	m, err := loadModel(cfg.ModelPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial model: %w", err)
 	}
 	s.model.Store(m)
-	s.stats.start = time.Now()
+	s.met.setModelInfo(m)
 	s.log.Info("model loaded",
+		"version", obs.Version(),
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
 		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
 	return s, nil
 }
+
+// Metrics returns the server's metrics registry, for callers that want to
+// expose it on an additional listener (e.g. the opt-in debug server) or add
+// process-level gauges of their own.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Reload loads and validates cfg.ModelPath and atomically swaps it in. On
 // any failure the previous model keeps serving and the error is returned.
@@ -140,12 +158,13 @@ func (s *Server) Reload() error {
 	defer s.reloadMu.Unlock()
 	m, err := loadModel(s.cfg.ModelPath)
 	if err != nil {
-		s.stats.reloadFailures.Add(1)
+		s.met.reloads.With("error").Inc()
 		s.log.Error("model reload failed; keeping current model", "path", s.cfg.ModelPath, "err", err)
 		return err
 	}
 	s.model.Store(m)
-	s.stats.reloads.Add(1)
+	s.met.reloads.With("ok").Inc()
+	s.met.setModelInfo(m)
 	s.log.Info("model reloaded",
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
 		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
@@ -233,6 +252,6 @@ func (s *Server) drain(srv *http.Server, sigs <-chan os.Signal) error {
 		s.log.Warn("drain timed out; in-flight requests aborted", "err", err)
 		return fmt.Errorf("serve: drain: %w", err)
 	}
-	s.log.Info("drained cleanly", "served", s.stats.served.Load(), "shed", s.stats.shed.Load())
+	s.log.Info("drained cleanly", "served", s.met.served.Value(), "shed", s.met.shed.Value())
 	return nil
 }

@@ -250,7 +250,7 @@ func TestPanicRecovery(t *testing.T) {
 	s := newTestServer(t, nil)
 	// Compose the production chain around a handler that always panics: the
 	// request must come back as a 500 with the process still alive.
-	h := s.withLogging(s.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := s.withObservability(s.withRecovery(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	})))
 	ts := httptest.NewServer(h)
@@ -263,7 +263,7 @@ func TestPanicRecovery(t *testing.T) {
 	if body.Error != "internal error" {
 		t.Fatalf("body = %+v", body)
 	}
-	if got := s.stats.panics.Load(); got != 1 {
+	if got := s.met.panics.Value(); got != 1 {
 		t.Fatalf("panic counter = %d, want 1", got)
 	}
 	// The server keeps serving after the panic.

@@ -2,34 +2,106 @@ package serve
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"inf2vec/internal/obs"
 )
 
-// stats holds the server's monotonic counters. All fields are updated with
-// atomics so the /debug/statz snapshot never blocks the request path.
-type stats struct {
-	start          time.Time
-	inFlight       atomic.Int64
-	served         atomic.Int64 // requests that reached a handler and finished
-	shed           atomic.Int64 // refused with 429 at the concurrency limiter
-	panics         atomic.Int64 // handler panics converted to 500
-	timeouts       atomic.Int64 // requests that hit their deadline (504)
-	reloads        atomic.Int64 // successful hot model reloads
-	reloadFailures atomic.Int64 // rejected reloads (old model kept)
+// serverMetrics is the server's obs.Registry plus handles to every series
+// the request path touches. It is the single source of truth for counters:
+// /metrics exposes the registry directly and the legacy /debug/statz
+// snapshot reads the same series, so the two can never disagree.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	// Per-endpoint traffic: every request the server answers, including
+	// health and debug routes.
+	requests *obs.CounterVec   // inf2vec_http_requests_total{route,method,code}
+	latency  *obs.HistogramVec // inf2vec_http_request_duration_seconds{route}
+
+	// Robustness-chain counters, API routes only.
+	inFlight *obs.Gauge   // inf2vec_http_inflight_requests
+	served   *obs.Counter // inf2vec_http_requests_served_total
+	shed     *obs.Counter // inf2vec_http_requests_shed_total
+	panics   *obs.Counter // inf2vec_http_handler_panics_total
+	timeouts *obs.Counter // inf2vec_http_request_timeouts_total
+
+	reloads   *obs.CounterVec // inf2vec_model_reloads_total{result}
+	modelInfo *obs.GaugeVec   // inf2vec_model_info{path,crc32}
 }
 
-// Snapshot is the JSON shape of /debug/statz.
+// newServerMetrics builds the registry and registers every family, plus the
+// build-info gauge and an uptime func-gauge anchored at start.
+func newServerMetrics(start time.Time) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.Counter("inf2vec_http_requests_total",
+			"Requests answered, by route, method and status code.",
+			"route", "method", "code"),
+		latency: reg.Histogram("inf2vec_http_request_duration_seconds",
+			"Request latency by route.", nil, "route"),
+		served: reg.Counter("inf2vec_http_requests_served_total",
+			"API requests admitted past the concurrency limiter that ran to completion without panicking.").With(),
+		shed: reg.Counter("inf2vec_http_requests_shed_total",
+			"API requests refused with 429 at the concurrency limiter.").With(),
+		panics: reg.Counter("inf2vec_http_handler_panics_total",
+			"Handler panics converted to 500 responses.").With(),
+		timeouts: reg.Counter("inf2vec_http_request_timeouts_total",
+			"Requests that exceeded their deadline and returned 504.").With(),
+		reloads: reg.Counter("inf2vec_model_reloads_total",
+			"Hot model reloads by result (ok or error).", "result"),
+		modelInfo: reg.Gauge("inf2vec_model_info",
+			"Currently serving model; always 1, with the file path and CRC-32 as labels.",
+			"path", "crc32"),
+	}
+	m.inFlight = reg.Gauge("inf2vec_http_inflight_requests",
+		"API requests currently admitted past the concurrency limiter.").With()
+	reg.GaugeFunc("inf2vec_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+	obs.RegisterBuildInfo(reg, "inf2vec")
+	return m
+}
+
+// setModelInfo points the model-info gauge at the currently serving model,
+// dropping the previous model's series.
+func (m *serverMetrics) setModelInfo(mod *model) {
+	m.modelInfo.Reset()
+	m.modelInfo.With(mod.path, fmt.Sprintf("%08x", mod.crc)).Set(1)
+}
+
+// Snapshot is the JSON shape of /debug/statz. Every counter is monotonic
+// since process start and is read from the same registry /metrics exposes.
+//
+// The API counters partition cleanly: every request to an API route is
+// counted in exactly one of Shed, Served or Panics. Health and debug routes
+// (/healthz, /readyz, /metrics, /debug/statz) bypass the robustness chain
+// and appear only in the per-route /metrics counters.
 type Snapshot struct {
-	InFlight       int64   `json:"in_flight"`
-	Served         int64   `json:"served"`
-	Shed           int64   `json:"shed"`
-	Panics         int64   `json:"panics"`
-	Timeouts       int64   `json:"timeouts"`
-	Reloads        int64   `json:"reloads"`
-	ReloadFailures int64   `json:"reload_failures"`
-	UptimeSeconds  float64 `json:"uptime_seconds"`
-	Draining       bool    `json:"draining"`
+	// InFlight is the number of API requests currently admitted past the
+	// concurrency limiter. Shed requests and health/debug routes never
+	// count.
+	InFlight int64 `json:"in_flight"`
+	// Served counts admitted API requests that ran to completion without
+	// panicking, whatever their status — 2xx, 4xx and 504 all count.
+	Served int64 `json:"served"`
+	// Shed counts API requests refused with 429 at the concurrency limiter.
+	// They never reached a handler and are not counted in Served.
+	Shed int64 `json:"shed"`
+	// Panics counts handler panics converted to 500. A panicking request is
+	// counted here and not in Served.
+	Panics int64 `json:"panics"`
+	// Timeouts counts requests that hit their deadline and returned 504.
+	// Such a request completed without panicking, so it is also in Served.
+	Timeouts int64 `json:"timeouts"`
+	// Reloads counts successful hot model reloads (SIGHUP or Reload).
+	Reloads int64 `json:"reloads"`
+	// ReloadFailures counts rejected reloads; the old model kept serving.
+	ReloadFailures int64 `json:"reload_failures"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports that a graceful drain has started (readyz is 503).
+	Draining bool `json:"draining"`
 
 	Model ModelInfo `json:"model"`
 }
@@ -44,18 +116,19 @@ type ModelInfo struct {
 	LoadedAt string `json:"loaded_at"`
 }
 
-// snapshot assembles the current counters and model metadata.
+// snapshot assembles the current counters and model metadata from the
+// metrics registry.
 func (s *Server) snapshot() Snapshot {
 	m := s.model.Load()
 	return Snapshot{
-		InFlight:       s.stats.inFlight.Load(),
-		Served:         s.stats.served.Load(),
-		Shed:           s.stats.shed.Load(),
-		Panics:         s.stats.panics.Load(),
-		Timeouts:       s.stats.timeouts.Load(),
-		Reloads:        s.stats.reloads.Load(),
-		ReloadFailures: s.stats.reloadFailures.Load(),
-		UptimeSeconds:  time.Since(s.stats.start).Seconds(),
+		InFlight:       int64(s.met.inFlight.Value()),
+		Served:         int64(s.met.served.Value()),
+		Shed:           int64(s.met.shed.Value()),
+		Panics:         int64(s.met.panics.Value()),
+		Timeouts:       int64(s.met.timeouts.Value()),
+		Reloads:        int64(s.met.reloads.With("ok").Value()),
+		ReloadFailures: int64(s.met.reloads.With("error").Value()),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Draining:       s.draining.Load(),
 		Model: ModelInfo{
 			Path:     m.path,
