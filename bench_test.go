@@ -23,6 +23,7 @@ package inf2vec
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -30,6 +31,7 @@ import (
 	"inf2vec/internal/datagen"
 	"inf2vec/internal/eval"
 	"inf2vec/internal/experiments"
+	"inf2vec/internal/rng"
 )
 
 var (
@@ -426,6 +428,41 @@ func BenchmarkAblationParallelTraining(b *testing.B) {
 				}
 				b.ReportMetric(res.Epochs[len(res.Epochs)-1].Loss, "final-loss")
 			}
+		})
+	}
+}
+
+// BenchmarkCorpusGeneration measures the context-generation phase
+// (Algorithm 2 lines 3–8) at 1, 2 and GOMAXPROCS corpus workers on the
+// digg-like ablation world. The corpus is bitwise identical at every worker
+// count, so the episodes/s column is the only thing that should move.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	ds, err := ablationWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, _, err := ds.Log.Split(3, 0.8, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.Config{
+				ContextLength: 50, Alpha: 0.1, RestartRatio: 0.5,
+				CorpusWorkers: workers,
+			}
+			var tuples int
+			for i := 0; i < b.N; i++ {
+				c := core.GenerateCorpus(ds.Graph, train, cfg, rng.New(5))
+				tuples = len(c.Tuples)
+			}
+			episodes := float64(train.NumEpisodes())
+			b.ReportMetric(episodes*float64(b.N)/b.Elapsed().Seconds(), "episodes/s")
+			b.ReportMetric(float64(tuples), "tuples")
 		})
 	}
 }

@@ -32,6 +32,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment list: table1..table6, fig1..fig3, fig6..fig9, or all")
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	corpusWorkers := flag.Int("corpus-workers", 0, "corpus-generation workers (0 = GOMAXPROCS; any value yields the same corpus)")
 	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
 	telemetryOut := flag.String("telemetry-out", "", "append one JSON training event per line to this file (all Inf2vec runs)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -50,7 +51,7 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	if err := runAll(ctx, *run, *quick, *seed, *svgDir, *telemetryOut); err != nil {
+	if err := runAll(ctx, *run, *quick, *seed, *corpusWorkers, *svgDir, *telemetryOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -63,7 +64,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
 }
 
-func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir, telemetryOut string) error {
+func runAll(ctx context.Context, list string, quick bool, seed uint64, corpusWorkers int, svgDir, telemetryOut string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
@@ -84,7 +85,7 @@ func runAll(ctx context.Context, list string, quick bool, seed uint64, svgDir, t
 		return all || want[name]
 	}
 
-	opts := experiments.Options{Seed: seed, Quick: quick}
+	opts := experiments.Options{Seed: seed, Quick: quick, CorpusWorkers: corpusWorkers}
 	if telemetryOut != "" {
 		sink, err := obs.CreateJSONL(telemetryOut)
 		if err != nil {

@@ -65,7 +65,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score|version> [flags]
-  train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -seed 1]
+  train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -corpus-workers 0 -seed 1]
         [-checkpoint CKPT [-checkpoint-every N] [-resume]]
         [-telemetry-out events.jsonl] [-log-format text|json] [-log-level info] [-debug-addr :0]
   eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
@@ -102,6 +102,7 @@ func cmdTrain(args []string) error {
 	iters := fs.Int("iters", 10, "SGD passes")
 	neg := fs.Int("neg", 5, "negative samples per positive")
 	workers := fs.Int("workers", 1, "hogwild workers")
+	corpusWorkers := fs.Int("corpus-workers", 0, "corpus-generation workers (0 = GOMAXPROCS; any value yields the same corpus)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file for fault-tolerant training")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint every N epochs (default 1 when -checkpoint is set)")
@@ -167,6 +168,7 @@ func cmdTrain(args []string) error {
 		Iterations:        *iters,
 		NegativeSamples:   *neg,
 		Workers:           *workers,
+		CorpusWorkers:     *corpusWorkers,
 		Seed:              *seed,
 		CheckpointPath:    *ckptPath,
 		CheckpointEvery:   *ckptEvery,

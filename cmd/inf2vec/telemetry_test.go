@@ -66,8 +66,13 @@ func TestTrainTelemetryJSONL(t *testing.T) {
 	if epochEnds != iters {
 		t.Errorf("epoch_end records = %d, want %d\nstream: %v", epochEnds, iters, kinds)
 	}
-	if len(kinds) == 0 || kinds[0] != "train_start" || kinds[len(kinds)-1] != "train_end" {
-		t.Errorf("stream must open with train_start and close with train_end: %v", kinds)
+	// Corpus-generation progress precedes training in the stream.
+	first := 0
+	for first < len(kinds) && kinds[first] == "corpus_progress" {
+		first++
+	}
+	if first == 0 || first >= len(kinds) || kinds[first] != "train_start" || kinds[len(kinds)-1] != "train_end" {
+		t.Errorf("stream must open with corpus_progress then train_start and close with train_end: %v", kinds)
 	}
 }
 

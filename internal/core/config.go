@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 )
 
 // Config collects Inf2vec's hyperparameters. Zero values select the paper's
@@ -68,6 +69,14 @@ type Config struct {
 	// Workers is the number of hogwild SGD goroutines. 1 (the default) is
 	// fully deterministic given Seed.
 	Workers int
+	// CorpusWorkers is the number of goroutines that generate the
+	// influence-context corpus (Algorithm 2 lines 3–8). Every episode draws
+	// from its own RNG stream keyed on (Seed, episode index), so the corpus
+	// is bitwise identical at any worker count: unlike Workers this is a
+	// pure throughput knob, excluded from the checkpoint fingerprint, and
+	// may change freely between a checkpoint and its Resume. Zero selects
+	// GOMAXPROCS.
+	CorpusWorkers int
 	// Seed drives every random choice (init, walks, sampling, shuffles).
 	Seed uint64
 
@@ -127,6 +136,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
+	if cfg.CorpusWorkers == 0 {
+		cfg.CorpusWorkers = runtime.GOMAXPROCS(0)
+	}
 	if cfg.CheckpointEvery == 0 && cfg.CheckpointPath != "" {
 		cfg.CheckpointEvery = 1
 	}
@@ -153,22 +165,36 @@ func (cfg Config) withDefaults() (Config, error) {
 		return cfg, fmt.Errorf("%w: NegativePower %v outside [0,1]", ErrBadConfig, cfg.NegativePower)
 	case cfg.Workers < 0:
 		return cfg, fmt.Errorf("%w: Workers %d", ErrBadConfig, cfg.Workers)
+	case cfg.CorpusWorkers < 0:
+		return cfg, fmt.Errorf("%w: CorpusWorkers %d", ErrBadConfig, cfg.CorpusWorkers)
 	case cfg.CheckpointEvery < 0:
 		return cfg, fmt.Errorf("%w: CheckpointEvery %d", ErrBadConfig, cfg.CheckpointEvery)
 	}
 	return cfg, nil
 }
 
+// corpusStreamVersion identifies how corpus-generation RNG streams are
+// derived from the seed. Version 2 is the per-episode keyed derivation
+// introduced with parallel corpus generation (together with exact-exclusion
+// C_2 sampling and run-long worker streams); bumping it invalidates
+// checkpoints written under older derivations, whose regenerated corpus
+// would silently differ from the one the checkpoint actually trained on.
+const corpusStreamVersion = 2
+
 // hash fingerprints every field that shapes the training trajectory, so a
 // checkpoint can refuse to resume under a different configuration. The
 // checkpointing knobs themselves (path, interval, retry bound) are excluded:
 // changing where or how often to checkpoint does not change the run.
+// CorpusWorkers is likewise excluded — per-episode RNG streams make the
+// corpus bitwise identical at any corpus worker count — while the stream
+// derivation itself is versioned in.
 func (cfg Config) hash() uint64 {
-	canonical := fmt.Sprintf("dim=%d len=%d alpha=%g restart=%g lr=%g decay=%t neg=%d iters=%d negpow=%g nobias=%t regen=%t firstorder=%t workers=%d seed=%d",
+	canonical := fmt.Sprintf("dim=%d len=%d alpha=%g restart=%g lr=%g decay=%t neg=%d iters=%d negpow=%g nobias=%t regen=%t firstorder=%t workers=%d seed=%d stream=%d",
 		cfg.Dim, cfg.ContextLength, cfg.Alpha, cfg.RestartRatio,
 		cfg.LearningRate, cfg.DecayLearningRate, cfg.NegativeSamples,
 		cfg.Iterations, cfg.NegativePower, cfg.DisableBiases,
-		cfg.RegenerateContexts, cfg.FirstOrderOnly, cfg.Workers, cfg.Seed)
+		cfg.RegenerateContexts, cfg.FirstOrderOnly, cfg.Workers, cfg.Seed,
+		corpusStreamVersion)
 	h := fnv.New64a()
 	h.Write([]byte(canonical))
 	return h.Sum64()

@@ -27,6 +27,28 @@ func TestExplicitZeroAlphaKept(t *testing.T) {
 	}
 }
 
+// TestHashIgnoresCorpusWorkers pins the fingerprint contract that lets a
+// checkpoint written at one -corpus-workers value resume at another: the
+// corpus is bitwise identical at any worker count, so the knob must not
+// invalidate checkpoints. SGD Workers, by contrast, change the training
+// trajectory and must change the hash.
+func TestHashIgnoresCorpusWorkers(t *testing.T) {
+	base, err := Config{Seed: 9}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := base
+	alt.CorpusWorkers = 13
+	if base.hash() != alt.hash() {
+		t.Error("CorpusWorkers changed the config fingerprint")
+	}
+	sgd := base
+	sgd.Workers = base.Workers + 1
+	if base.hash() == sgd.hash() {
+		t.Error("SGD Workers did not change the config fingerprint")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{Dim: -1},
@@ -40,6 +62,7 @@ func TestConfigValidation(t *testing.T) {
 		{NegativePower: -0.5},
 		{NegativePower: 2},
 		{Workers: -3},
+		{CorpusWorkers: -3},
 	}
 	for _, cfg := range bad {
 		if _, err := cfg.withDefaults(); !errors.Is(err, ErrBadConfig) {

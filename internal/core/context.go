@@ -1,6 +1,11 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/diffusion"
 	"inf2vec/internal/graph"
@@ -24,31 +29,37 @@ type Corpus struct {
 	NumPositives int64   // total context entries (SGD positives per pass)
 }
 
+// corpusScratch holds per-worker reusable buffers for context generation, so
+// the random walk of every adopter does not allocate a fresh slice.
+type corpusScratch struct {
+	walk []int32
+}
+
 // episodeContexts implements Algorithm 1 for every adopter of one episode,
 // appending the resulting tuples.
-func episodeContexts(pn *diffusion.PropNet, cfg Config, r *rng.RNG, out []Tuple) []Tuple {
+func episodeContexts(pn *diffusion.PropNet, cfg Config, r *rng.RNG, out []Tuple, sc *corpusScratch) []Tuple {
 	n := pn.NumNodes()
 	localLen := int(float64(cfg.ContextLength)*cfg.Alpha + 0.5)
 	globalLen := cfg.ContextLength - localLen
 	for i := int32(0); int(i) < n; i++ {
 		ctx := make([]int32, 0, cfg.ContextLength)
 		// C_1: local influence context via random walk with restart.
-		for _, j := range walk.Restart(pn, i, localLen, cfg.RestartRatio, r) {
+		sc.walk = walk.AppendRestart(pn, i, localLen, cfg.RestartRatio, r, sc.walk[:0])
+		for _, j := range sc.walk {
 			ctx = append(ctx, pn.User(j))
 		}
 		// C_2: global user-similarity context — uniform samples from V_i,
 		// excluding the center itself (a user does not influence their own
-		// adoption).
+		// adoption). Sampling from [0, n-1) and shifting indices at or above
+		// the center is an exact exclusion: every draw lands, so the context
+		// always gets the full globalLen entries (the old resample-once
+		// scheme skipped double collisions, systematically under-filling and
+		// biasing contexts on small episodes).
 		if n > 1 {
 			for s := 0; s < globalLen; s++ {
-				j := int32(r.Intn(n))
-				if j == i {
-					// Resample once; on a second collision skip, keeping the
-					// sampler O(1) without biasing small episodes noticeably.
-					j = int32(r.Intn(n))
-					if j == i {
-						continue
-					}
+				j := int32(r.Intn(n - 1))
+				if j >= i {
+					j++
 				}
 				ctx = append(ctx, pn.User(j))
 			}
@@ -105,23 +116,138 @@ func CorpusFromPairs(numUsers int32, pairs []diffusion.Pair) *Corpus {
 	return c
 }
 
+// corpusGenWorkers resolves the effective corpus-generation worker count:
+// the configured value (GOMAXPROCS when unset), clamped to the episode
+// count, and — like the SGD workers — forced sequential under the race
+// detector so the two parallel phases follow one rule.
+func corpusGenWorkers(cfg Config, numEpisodes int) int {
+	workers := cfg.CorpusWorkers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if raceEnabled {
+		workers = 1
+	}
+	if workers > numEpisodes {
+		workers = numEpisodes
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// corpusProgressInterval is the minimum spacing between intermediate
+// corpus_progress telemetry events. A variable, not a constant, so tests can
+// force per-episode emission.
+var corpusProgressInterval = time.Second
+
+// corpusProgress emits one corpus_progress telemetry event.
+func corpusProgress(cfg Config, done, total, workers int, start time.Time) {
+	e := Event{
+		Kind: EventCorpusProgress, EpisodesDone: done, EpisodesTotal: total,
+		CorpusWorkers: workers,
+	}
+	if sec := time.Since(start).Seconds(); sec > 0 {
+		e.EpisodesPerSec = float64(done) / sec
+	}
+	cfg.emit(e)
+}
+
 // GenerateCorpus runs the context-generation phase of Algorithm 2 (lines
-// 3–8) over every episode of the log.
+// 3–8) over every episode of the log, sharding episodes across
+// cfg.CorpusWorkers goroutines.
+//
+// Each episode draws from its own generator, derived from a base value (one
+// draw from r) keyed by the episode index, so the corpus is bitwise
+// identical at any worker count and r advances identically whether the work
+// ran on one goroutine or many — which is what lets Resume regenerate the
+// exact corpus a checkpoint trained on regardless of how either run was
+// parallelized.
 func GenerateCorpus(g *graph.Graph, log *actionlog.Log, cfg Config, r *rng.RNG) *Corpus {
-	c := &Corpus{ContextFreq: make([]int64, log.NumUsers())}
-	log.Episodes(func(e *actionlog.Episode) {
-		pn := diffusion.BuildPropNet(g, e)
+	base := r.Uint64()
+	numEp := log.NumEpisodes()
+	workers := corpusGenWorkers(cfg, numEp)
+	start := time.Now()
+
+	// perEpisode[i] holds episode i's tuples; every slot is written by
+	// exactly one worker, and the episode-order merge below keeps the slab
+	// layout identical to the old sequential construction.
+	perEpisode := make([][]Tuple, numEp)
+	generate := func(i int, sc *corpusScratch) {
+		pn := diffusion.BuildPropNet(g, log.Episode(i))
 		if cfg.FirstOrderOnly {
-			c.Tuples = episodePairTuples(pn, c.Tuples)
+			perEpisode[i] = episodePairTuples(pn, nil)
 		} else {
-			c.Tuples = episodeContexts(pn, cfg, r, c.Tuples)
+			perEpisode[i] = episodeContexts(pn, cfg, rng.Keyed(base, uint64(i)), nil, sc)
 		}
-	})
+	}
+
+	if workers == 1 {
+		sc := &corpusScratch{}
+		last := start
+		for i := 0; i < numEp; i++ {
+			generate(i, sc)
+			if cfg.Telemetry != nil && time.Since(last) >= corpusProgressInterval {
+				last = time.Now()
+				corpusProgress(cfg, i+1, numEp, workers, start)
+			}
+		}
+	} else {
+		var next, completed atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := &corpusScratch{}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= numEp {
+						return
+					}
+					generate(i, sc)
+					completed.Add(1)
+				}
+			}()
+		}
+		if cfg.Telemetry == nil {
+			wg.Wait()
+		} else {
+			// Telemetry sinks are called synchronously on the caller's
+			// goroutine, so the coordinator ticks progress while the
+			// workers drain the episode counter.
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			ticker := time.NewTicker(corpusProgressInterval)
+		wait:
+			for {
+				select {
+				case <-done:
+					break wait
+				case <-ticker.C:
+					corpusProgress(cfg, int(completed.Load()), numEp, workers, start)
+				}
+			}
+			ticker.Stop()
+		}
+	}
+
+	c := &Corpus{ContextFreq: make([]int64, log.NumUsers())}
+	total := 0
+	for _, eps := range perEpisode {
+		total += len(eps)
+	}
+	c.Tuples = make([]Tuple, 0, total)
+	for _, eps := range perEpisode {
+		c.Tuples = append(c.Tuples, eps...)
+	}
 	for _, t := range c.Tuples {
 		for _, v := range t.Context {
 			c.ContextFreq[v]++
 			c.NumPositives++
 		}
 	}
+	corpusProgress(cfg, numEp, numEp, workers, start)
 	return c
 }

@@ -6,6 +6,12 @@ import "time"
 type EventKind string
 
 const (
+	// EventCorpusProgress is emitted during context generation (Algorithm 2
+	// lines 3–8): periodically while episodes are being processed and once
+	// on completion, carrying episodes done/total, throughput and the
+	// corpus worker count. It precedes train_start on a fresh run and
+	// recurs mid-stream under RegenerateContexts.
+	EventCorpusProgress EventKind = "corpus_progress"
 	// EventTrainStart is emitted once per Train/Resume call, after context
 	// generation: carries the corpus shape and the first epoch to run.
 	EventTrainStart EventKind = "train_start"
@@ -55,6 +61,12 @@ type Event struct {
 	// NumTuples and NumPositives describe the generated corpus (train_start).
 	NumTuples    int   `json:"tuples,omitempty"`
 	NumPositives int64 `json:"positives,omitempty"`
+	// EpisodesDone, EpisodesTotal, EpisodesPerSec and CorpusWorkers report
+	// context-generation progress (corpus_progress).
+	EpisodesDone   int     `json:"episodes_done,omitempty"`
+	EpisodesTotal  int     `json:"episodes_total,omitempty"`
+	EpisodesPerSec float64 `json:"episodes_per_sec,omitempty"`
+	CorpusWorkers  int     `json:"corpus_workers,omitempty"`
 	// LRScale and Reinit mirror Recovery (divergence_recovery).
 	LRScale float64 `json:"lr_scale,omitempty"`
 	Reinit  bool    `json:"reinit,omitempty"`

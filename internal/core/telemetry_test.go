@@ -6,6 +6,7 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"inf2vec/internal/embed"
 )
@@ -86,9 +87,57 @@ func TestTelemetryEventStream(t *testing.T) {
 	if len(finals) != 1 || finals[0].Epochs != iters || finals[0].Canceled {
 		t.Errorf("train_end = %+v, want one completed event with Epochs=%d", finals, iters)
 	}
-	if events[0].Kind != EventTrainStart || events[len(events)-1].Kind != EventTrainEnd {
-		t.Errorf("stream must open with train_start and close with train_end; got %s ... %s",
+	// Context generation precedes training, so the stream opens with its
+	// corpus_progress record(s), then train_start, and closes with train_end.
+	first := 0
+	for first < len(events) && events[first].Kind == EventCorpusProgress {
+		first++
+	}
+	if first == 0 || events[first].Kind != EventTrainStart || events[len(events)-1].Kind != EventTrainEnd {
+		t.Errorf("stream must open with corpus_progress then train_start and close with train_end; got %s ... %s",
 			events[0].Kind, events[len(events)-1].Kind)
+	}
+}
+
+// TestTelemetryCorpusProgress pins the corpus_progress contract: a final
+// completion record always closes the generation phase, and with the
+// emission interval forced down intermediate records appear too.
+func TestTelemetryCorpusProgress(t *testing.T) {
+	saved := corpusProgressInterval
+	corpusProgressInterval = time.Nanosecond
+	defer func() { corpusProgressInterval = saved }()
+
+	for _, workers := range []int{1, 4} {
+		events, _ := collect(t, Config{Dim: 4, Iterations: 1, Seed: 2, ContextLength: 8, CorpusWorkers: workers})
+		progress := byKind(events, EventCorpusProgress)
+		if len(progress) == 0 {
+			t.Fatalf("workers=%d: no corpus_progress events", workers)
+		}
+		final := progress[len(progress)-1]
+		if final.EpisodesTotal == 0 || final.EpisodesDone != final.EpisodesTotal {
+			t.Errorf("workers=%d: final corpus_progress = %+v, want EpisodesDone == EpisodesTotal > 0", workers, final)
+		}
+		if final.EpisodesPerSec <= 0 {
+			t.Errorf("workers=%d: final corpus_progress throughput = %v, want positive", workers, final.EpisodesPerSec)
+		}
+		if final.CorpusWorkers < 1 {
+			t.Errorf("workers=%d: corpus_progress reports %d workers", workers, final.CorpusWorkers)
+		}
+		for _, e := range progress {
+			if e.EpisodesDone < 0 || e.EpisodesDone > e.EpisodesTotal {
+				t.Errorf("workers=%d: corpus_progress out of range: %+v", workers, e)
+			}
+		}
+		// Generation precedes training: every corpus event must come before
+		// train_start.
+		for i, e := range events {
+			if e.Kind == EventTrainStart {
+				break
+			}
+			if e.Kind != EventCorpusProgress {
+				t.Errorf("workers=%d: event %d before train_start is %s", workers, i, e.Kind)
+			}
+		}
 	}
 }
 

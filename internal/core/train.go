@@ -202,7 +202,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		return res, nil
 	}
 
-	workerRNGs := makeWorkerRNGs(cfg, len(corpus.Tuples), root)
+	workerRNGs := makeWorkerRNGs(cfg, root)
 	orderRNG := root.Split()
 	baseCorpus, baseNeg := corpus, neg
 	cfgHash := cfg.hash()
@@ -362,7 +362,7 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 			retries++
 			lrScale /= 2
 			res.Recoveries = append(res.Recoveries, Recovery{Epoch: epoch - 1, LRScale: lrScale, Reinit: snap == nil})
-		cfg.emit(Event{Kind: EventDivergenceRecovery, Epoch: epoch, LRScale: lrScale, Reinit: snap == nil})
+			cfg.emit(Event{Kind: EventDivergenceRecovery, Epoch: epoch, LRScale: lrScale, Reinit: snap == nil})
 			if snap != nil {
 				rollback(snap)
 			} else {
@@ -411,12 +411,14 @@ func epochGamma(cfg Config, epoch int) float32 {
 	return float32(cfg.LearningRate)
 }
 
-// makeWorkerRNGs allocates one generator per hogwild worker.
-func makeWorkerRNGs(cfg Config, numTuples int, root *rng.RNG) []*rng.RNG {
+// makeWorkerRNGs allocates one generator per configured hogwild worker. The
+// count is fixed for the whole run — it is part of the checkpoint contract —
+// and is NOT clamped to the corpus size here: under RegenerateContexts a
+// later draw can be larger than the first, and a clamp frozen at the initial
+// corpus would starve it of workers. runEpoch clamps the shards to each
+// epoch's actual corpus instead.
+func makeWorkerRNGs(cfg Config, root *rng.RNG) []*rng.RNG {
 	workers := cfg.Workers
-	if workers > numTuples {
-		workers = numTuples
-	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -433,10 +435,15 @@ func makeWorkerRNGs(cfg Config, numTuples int, root *rng.RNG) []*rng.RNG {
 }
 
 // runEpoch executes one SGD pass, sharded across the worker generators.
-// A close of done stops every shard at its next cancellation check.
+// A close of done stops every shard at its next cancellation check. Shards
+// are clamped to the pass's corpus size per epoch (a tuple-per-worker
+// minimum), leaving surplus worker streams untouched.
 func runEpoch(done <-chan struct{}, store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, workerRNGs []*rng.RNG) (totalLoss float64, totalPos int64) {
 	workers := len(workerRNGs)
-	if workers == 1 {
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers <= 1 {
 		return sgdPass(done, store, tuples, order, neg, cfg, gamma, workerRNGs[0])
 	}
 	// Hogwild: shards update the shared store without locks. Lost updates

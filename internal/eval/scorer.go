@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -77,11 +78,77 @@ func (s *Scorer) Activation(active []int32, v int32, agg Aggregator) (float64, e
 	return agg.Aggregate(xs)
 }
 
+// rankBefore reports whether a ranks strictly ahead of b: descending score
+// with ties broken by ascending user ID. It is a total order even over NaN
+// scores (a diverged model scores everything NaN): NaN ranks after every
+// real score, NaN ties fall through to the ID tie-break. sort.Slice's
+// strict-weak-ordering contract breaks on a comparator that uses raw float
+// comparisons against NaN, yielding nondeterministic rankings — this order
+// is what keeps a ranking stable no matter what the model emits.
+func rankBefore(a, b Ranked) bool {
+	aNaN, bNaN := math.IsNaN(a.Score), math.IsNaN(b.Score)
+	switch {
+	case aNaN != bNaN:
+		return bNaN
+	case !aNaN && a.Score != b.Score:
+		return a.Score > b.Score
+	}
+	return a.User < b.User
+}
+
+// topkHeap is a bounded heap over Ranked ordered by rankBefore, with the
+// lowest-ranked kept entry at the root: a full heap admits a candidate only
+// by evicting the root. Hand-rolled sifts over a slice keep the serving path
+// free of interface boxing and of allocations beyond the k-sized array.
+type topkHeap []Ranked
+
+// push admits cand, evicting the current worst entry when the heap is at
+// capacity k and cand outranks it.
+func (h *topkHeap) push(cand Ranked, k int) {
+	s := *h
+	if len(s) < k {
+		s = append(s, cand)
+		// Sift up: a child that ranks after its parent stays put.
+		for i := len(s) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !rankBefore(s[parent], s[i]) {
+				break
+			}
+			s[i], s[parent] = s[parent], s[i]
+			i = parent
+		}
+		*h = s
+		return
+	}
+	if !rankBefore(cand, s[0]) {
+		return
+	}
+	s[0] = cand
+	// Sift down towards the worse-ranked child.
+	for i := 0; ; {
+		worst := i
+		if l := 2*i + 1; l < len(s) && rankBefore(s[worst], s[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < len(s) && rankBefore(s[worst], s[r]) {
+			worst = r
+		}
+		if worst == i {
+			break
+		}
+		s[i], s[worst] = s[worst], s[i]
+		i = worst
+	}
+}
+
 // TopInfluenced scores every non-seed user of the universe against the
 // time-ordered seed set and returns the topK most likely to be influenced,
-// by descending score with ties broken by ascending user ID. The scan
-// observes ctx cooperatively (every few thousand users), so a serving
-// deadline bounds the worst-case latency of a full-universe ranking.
+// by descending score with ties broken by ascending user ID (NaN scores
+// rank last, deterministically). Candidates stream through a bounded heap —
+// O(n log k) time, O(k) memory — rather than materializing and sorting the
+// whole universe per request. The scan observes ctx cooperatively (every
+// few thousand users), so a serving deadline bounds the worst-case latency
+// of a full-universe ranking.
 func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregator, topK int) ([]Ranked, error) {
 	if topK <= 0 {
 		return nil, fmt.Errorf("eval: topK %d must be positive", topK)
@@ -97,7 +164,7 @@ func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregato
 		isSeed[u] = true
 	}
 	xs := make([]float64, len(seeds))
-	all := make([]Ranked, 0, s.n)
+	top := make(topkHeap, 0, min(topK, int(s.n)))
 	for v := int32(0); v < s.n; v++ {
 		if v&0x1FFF == 0 {
 			if err := ctx.Err(); err != nil {
@@ -114,16 +181,8 @@ func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregato
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, Ranked{User: v, Score: y})
+		top.push(Ranked{User: v, Score: y}, topK)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].User < all[j].User
-	})
-	if topK < len(all) {
-		all = all[:topK]
-	}
-	return all, nil
+	sort.Slice(top, func(i, j int) bool { return rankBefore(top[i], top[j]) })
+	return top, nil
 }

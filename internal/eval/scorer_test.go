@@ -3,6 +3,8 @@ package eval
 import (
 	"context"
 	"errors"
+	"math"
+	"sort"
 	"testing"
 )
 
@@ -120,4 +122,107 @@ func TestScorerTopInfluencedErrors(t *testing.T) {
 	if _, err := s.TopInfluenced(ctx, []int32{0}, Max, 3); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled ctx: err = %v, want context.Canceled", err)
 	}
+}
+
+// TestScorerTopInfluencedMatchesFullSort cross-checks the bounded-heap
+// selection against a brute-force reference — score every candidate via the
+// public Activation path, fully sort, truncate — across topK values below,
+// at, and above the candidate count. The pseudo-random scorer has heavy ties
+// so the (score desc, user asc) tie-break is exercised, not just the heap
+// ordering.
+func TestScorerTopInfluencedMatchesFullSort(t *testing.T) {
+	scorer := pairFunc(func(u, v int32) float64 {
+		h := uint32(u)*2654435761 + uint32(v)*40503
+		return float64(int32(h%64)) - 32
+	})
+	const n = 200
+	s, err := NewScorer(scorer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int32{3, 50, 101}
+	isSeed := map[int32]bool{3: true, 50: true, 101: true}
+	var ref []Ranked
+	for v := int32(0); v < n; v++ {
+		if isSeed[v] {
+			continue
+		}
+		sc, err := s.Activation(seeds, v, Ave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref = append(ref, Ranked{User: v, Score: sc})
+	}
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].Score != ref[j].Score {
+			return ref[i].Score > ref[j].Score
+		}
+		return ref[i].User < ref[j].User
+	})
+	for _, topK := range []int{1, 2, 7, 64, n - len(seeds), n + 50} {
+		got, err := s.TopInfluenced(context.Background(), seeds, Ave, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref
+		if topK < len(want) {
+			want = want[:topK]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("topK=%d: got %d results, want %d", topK, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("topK=%d: result %d = %+v, want %+v", topK, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScorerTopInfluencedNaN pins NaN handling: candidates whose aggregate
+// is NaN rank strictly after every real score, in ascending user order, and
+// the result is identical across calls (sort.Slice on a comparator that
+// answers false both ways is unspecified — the heap must use a total order).
+func TestScorerTopInfluencedNaN(t *testing.T) {
+	scorer := pairFunc(func(u, v int32) float64 {
+		if v%2 == 0 {
+			return math.NaN()
+		}
+		return float64(v)
+	})
+	s, err := NewScorer(scorer, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(topK int, wantUsers []int32) {
+		t.Helper()
+		var prev []Ranked
+		for call := 0; call < 3; call++ {
+			got, err := s.TopInfluenced(context.Background(), []int32{1}, Max, topK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(wantUsers) {
+				t.Fatalf("topK=%d: got %d results, want %d", topK, len(got), len(wantUsers))
+			}
+			for i, u := range wantUsers {
+				if got[i].User != u {
+					t.Fatalf("topK=%d call %d: result %d = user %d, want %d", topK, call, i, got[i].User, u)
+				}
+			}
+			if call > 0 {
+				for i := range got {
+					if got[i].User != prev[i].User {
+						t.Fatalf("topK=%d: call %d differs from call %d at %d", topK, call, call-1, i)
+					}
+				}
+			}
+			prev = got
+		}
+	}
+	// Non-seed candidates: odd {3,5,7,9} carry real scores (descending),
+	// even {0,2,4,6,8} are NaN and rank last in ascending ID order.
+	check(20, []int32{9, 7, 5, 3, 0, 2, 4, 6, 8})
+	check(6, []int32{9, 7, 5, 3, 0, 2})
+	check(3, []int32{9, 7, 5})
 }

@@ -44,6 +44,10 @@ type Options struct {
 	Inf2vecRuns int
 	// Workers for hogwild training. Zero selects min(NumCPU, 8).
 	Workers int
+	// CorpusWorkers for parallel corpus generation. The corpus is bitwise
+	// identical at any count, so this only changes wall-clock time. Zero
+	// selects GOMAXPROCS (the core default).
+	CorpusWorkers int
 	// Telemetry, when non-nil, receives the training events of every
 	// Inf2vec run the suite performs (see core.Event). Events from distinct
 	// runs share one stream; train_start records delimit them.
@@ -197,6 +201,7 @@ func (s *Suite) inf2vecConfig(seed uint64) core.Config {
 		NegativeSamples:   5,
 		Iterations:        35,
 		Workers:           s.opts.Workers,
+		CorpusWorkers:     s.opts.CorpusWorkers,
 		Seed:              seed,
 		Telemetry:         s.opts.Telemetry,
 	}

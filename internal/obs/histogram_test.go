@@ -57,11 +57,11 @@ func TestQuantileExact(t *testing.T) {
 	// Ranks: total=4. q=0.5 -> rank 2; bucket le=2 holds ranks (1,3],
 	// interpolate: lower 1 + (2-1) * (2-1)/2 = 1.5.
 	cases := []struct{ q, want float64 }{
-		{0, 0},      // rank 0 is the first nonempty bucket's lower bound
-		{0.25, 1},   // rank 1 is the whole first bucket: 0 + (1-0)*1/1
-		{0.5, 1.5},  // mid of bucket (1,2]
-		{0.75, 2},   // rank 3 exhausts bucket (1,2]
-		{1, 4},      // rank 4 exhausts bucket (2,4]
+		{0, 0},     // rank 0 is the first nonempty bucket's lower bound
+		{0.25, 1},  // rank 1 is the whole first bucket: 0 + (1-0)*1/1
+		{0.5, 1.5}, // mid of bucket (1,2]
+		{0.75, 2},  // rank 3 exhausts bucket (1,2]
+		{1, 4},     // rank 4 exhausts bucket (2,4]
 	}
 	for _, c := range cases {
 		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {

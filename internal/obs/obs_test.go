@@ -143,10 +143,10 @@ func TestWriteTextFormat(t *testing.T) {
 	samples := parseExposition(t, buf.String())
 
 	want := map[string]string{
-		`requests_total{route="/v1/score",code="200"}`:  "7",
-		`requests_total{route="/v1/topk",code="404"}`:   "1",
-		`temperature`:                                   "-3.5",
-		`uptime_seconds`:                                "12.25",
+		`requests_total{route="/v1/score",code="200"}`: "7",
+		`requests_total{route="/v1/topk",code="404"}`:  "1",
+		`temperature`:    "-3.5",
+		`uptime_seconds`: "12.25",
 		`latency_seconds_bucket{route="/v1/score",le="0.1"}`:  "1",
 		`latency_seconds_bucket{route="/v1/score",le="0.5"}`:  "2",
 		`latency_seconds_bucket{route="/v1/score",le="+Inf"}`: "3",

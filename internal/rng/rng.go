@@ -52,6 +52,18 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
+// Keyed derives a generator from a base seed and a stream key. Unlike Split
+// it consumes no generator state: Keyed(seed, k) is a pure function of its
+// arguments, so independent workers can derive the stream for any key in any
+// order — the keyed-derivation counterpart of Split for data-parallel work
+// (one stream per episode, per shard, ...). The key is diffused through
+// splitmix64 before being folded into the seed, so consecutive keys
+// (0, 1, 2, ...) land far apart in seed space.
+func Keyed(seed, key uint64) *RNG {
+	sm := key ^ 0x6a09e667f3bcc908 // offset so key 0 does not pass through unmixed
+	return New(seed ^ splitmix64(&sm))
+}
+
 // State returns the generator's full 256-bit internal state, for
 // checkpointing. Restoring it with SetState resumes the exact stream.
 func (r *RNG) State() [4]uint64 {

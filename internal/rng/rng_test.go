@@ -47,6 +47,37 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestKeyedDeterministic(t *testing.T) {
+	a, b := Keyed(42, 7), Keyed(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, key) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestKeyedIndependence(t *testing.T) {
+	// Streams for distinct keys under one seed, distinct seeds under one key,
+	// and key 0 versus the plain seeded stream must all decorrelate.
+	pairs := [][2]*RNG{
+		{Keyed(42, 0), Keyed(42, 1)},
+		{Keyed(42, 1), Keyed(42, 2)},
+		{Keyed(1, 5), Keyed(2, 5)},
+		{Keyed(42, 0), New(42)},
+	}
+	for pi, p := range pairs {
+		same := 0
+		for i := 0; i < 64; i++ {
+			if p[0].Uint64() == p[1].Uint64() {
+				same++
+			}
+		}
+		if same > 0 {
+			t.Errorf("pair %d: %d/64 identical draws between supposedly independent streams", pi, same)
+		}
+	}
+}
+
 func TestIntnRange(t *testing.T) {
 	r := New(3)
 	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 20} {

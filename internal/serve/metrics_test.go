@@ -200,11 +200,11 @@ func TestRequestIDPropagation(t *testing.T) {
 
 func TestRouteLabelBoundsCardinality(t *testing.T) {
 	for path, want := range map[string]string{
-		"/v1/score":             "/v1/score",
-		"/metrics":              "/metrics",
-		"/no/such/route":        "other",
-		"/v1/score/../../etc":   "other",
-		"/v1/scoreX":            "other",
+		"/v1/score":           "/v1/score",
+		"/metrics":            "/metrics",
+		"/no/such/route":      "other",
+		"/v1/score/../../etc": "other",
+		"/v1/scoreX":          "other",
 	} {
 		if got := routeLabel(path); got != want {
 			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)

@@ -23,26 +23,35 @@ import (
 // an influence sink is empty). Returned indices may repeat — the context is
 // a multiset, exactly as repeated words are in word2vec.
 func Restart(pn *diffusion.PropNet, start int32, length int, restart float64, r *rng.RNG) []int32 {
+	return AppendRestart(pn, start, length, restart, r, nil)
+}
+
+// AppendRestart is Restart appending into dst and returning the extended
+// slice. Callers that generate many contexts (corpus generation walks once
+// per adopter per episode) pass a reusable buffer to avoid one allocation
+// per walk; dst's backing array is reused when capacity allows. A start with
+// no successors returns dst unchanged.
+func AppendRestart(pn *diffusion.PropNet, start int32, length int, restart float64, r *rng.RNG, dst []int32) []int32 {
 	if length <= 0 || len(pn.OutLocal(start)) == 0 {
-		return nil
+		return dst
 	}
-	ctx := make([]int32, 0, length)
+	base := len(dst)
 	cur := start
-	for len(ctx) < length {
+	for len(dst)-base < length {
 		succ := pn.OutLocal(cur)
 		if len(succ) == 0 {
 			cur = start
 			continue
 		}
 		next := succ[r.Intn(len(succ))]
-		ctx = append(ctx, next)
+		dst = append(dst, next)
 		if r.Float64() < restart {
 			cur = start
 		} else {
 			cur = next
 		}
 	}
-	return ctx
+	return dst
 }
 
 // Node2vec performs second-order biased random walks on a directed graph,

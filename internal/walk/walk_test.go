@@ -223,3 +223,41 @@ func TestWindowPairsCount(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendRestartMatchesRestart pins the buffer-reuse fast path: feeding
+// the same RNG stream, AppendRestart into a recycled buffer must emit
+// exactly the walks Restart allocates fresh.
+func TestAppendRestartMatchesRestart(t *testing.T) {
+	pn := chainNet(t)
+	r1, r2 := rng.New(9), rng.New(9)
+	var buf []int32
+	for trial := 0; trial < 200; trial++ {
+		want := Restart(pn, 0, 20, 0.5, r1)
+		buf = AppendRestart(pn, 0, 20, 0.5, r2, buf[:0])
+		if len(buf) != len(want) {
+			t.Fatalf("trial %d: lengths %d vs %d", trial, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d: step %d = %d, want %d", trial, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAppendRestartPreservesPrefix checks the append contract: existing dst
+// entries stay in place, and a dead start or zero length returns dst as-is.
+func TestAppendRestartPreservesPrefix(t *testing.T) {
+	pn := chainNet(t)
+	dst := []int32{7, 8}
+	out := AppendRestart(pn, 0, 5, 0.5, rng.New(10), dst)
+	if len(out) != 7 || out[0] != 7 || out[1] != 8 {
+		t.Fatalf("append clobbered prefix: %v", out)
+	}
+	if got := AppendRestart(pn, 3, 5, 0.5, rng.New(11), dst); len(got) != len(dst) {
+		t.Fatalf("dead start extended dst: %v", got)
+	}
+	if got := AppendRestart(pn, 0, 0, 0.5, rng.New(12), dst); len(got) != len(dst) {
+		t.Fatalf("zero length extended dst: %v", got)
+	}
+}
