@@ -27,6 +27,8 @@ import (
 	"sync"
 	"testing"
 
+	"inf2vec/internal/baseline/embic"
+	"inf2vec/internal/baseline/node2vec"
 	"inf2vec/internal/core"
 	"inf2vec/internal/datagen"
 	"inf2vec/internal/eval"
@@ -490,4 +492,56 @@ func BenchmarkTrainThroughput(b *testing.B) {
 		positives = res.NumPositives
 	}
 	b.ReportMetric(float64(positives)*float64(b.N)/b.Elapsed().Seconds(), "positives/s")
+}
+
+// baselineWorld lazily generates the paper-scale dataset shared by the
+// baseline-training benches.
+var baselineWorld = sync.OnceValues(func() (*datagen.Dataset, error) {
+	return datagen.Generate(datagen.DiggLike(1))
+})
+
+// BenchmarkBaselineTraining measures the trainer engine's parallel speedup
+// on the two heaviest rebuilt baselines: node2vec and Emb-IC at 1 worker
+// and at GOMAXPROCS workers on the paper-scale digg-like world. The models
+// are bitwise identical at every worker count, so the ratio of the two
+// timings is pure engine speedup. -short shrinks the training budget but
+// still exercises both methods at both worker counts.
+func BenchmarkBaselineTraining(b *testing.B) {
+	ds, err := baselineWorld()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n2vCfg := node2vec.Config{
+		Dim: 50, WalksPerNode: 10, WalkLength: 40, Window: 5, Epochs: 2, Seed: 7,
+	}
+	embCfg := embic.Config{Dim: 50, Iterations: 10, Seed: 7}
+	if testing.Short() {
+		n2vCfg.WalksPerNode = 2
+		n2vCfg.Epochs = 1
+		embCfg.Iterations = 2
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("node2vec/workers=%d", workers), func(b *testing.B) {
+			cfg := n2vCfg
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := node2vec.Train(ds.Graph, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("embic/workers=%d", workers), func(b *testing.B) {
+			cfg := embCfg
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := embic.Train(ds.Graph, ds.Log, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,7 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment list: table1..table6, fig1..fig3, fig6..fig9, or all")
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	seed := flag.Uint64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "training workers for Inf2vec and every baseline (0 = min(NumCPU, 8); any value yields the same models)")
 	corpusWorkers := flag.Int("corpus-workers", 0, "corpus-generation workers (0 = GOMAXPROCS; any value yields the same corpus)")
 	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
 	telemetryOut := flag.String("telemetry-out", "", "append one JSON training event per line to this file (all Inf2vec runs)")
@@ -51,8 +53,12 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	if err := runAll(ctx, *run, *quick, *seed, *corpusWorkers, *svgDir, *telemetryOut); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	if err := runAll(ctx, *run, *quick, *seed, *workers, *corpusWorkers, *svgDir, *telemetryOut); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -64,7 +70,7 @@ var knownExperiments = map[string]bool{
 	"fig3": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
 }
 
-func runAll(ctx context.Context, list string, quick bool, seed uint64, corpusWorkers int, svgDir, telemetryOut string) error {
+func runAll(ctx context.Context, list string, quick bool, seed uint64, workers, corpusWorkers int, svgDir, telemetryOut string) error {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
@@ -85,7 +91,14 @@ func runAll(ctx context.Context, list string, quick bool, seed uint64, corpusWor
 		return all || want[name]
 	}
 
-	opts := experiments.Options{Seed: seed, Quick: quick, CorpusWorkers: corpusWorkers}
+	// The context reaches every training loop (Inf2vec and all baselines),
+	// so a signal also drains mid-section training at the next epoch/round
+	// boundary rather than waiting the section out.
+	opts := experiments.Options{
+		Seed: seed, Quick: quick,
+		Workers: workers, CorpusWorkers: corpusWorkers,
+		Context: ctx,
+	}
 	if telemetryOut != "" {
 		sink, err := obs.CreateJSONL(telemetryOut)
 		if err != nil {

@@ -15,13 +15,13 @@ func TestRunAllQuickSmoke(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	if err := runAll(ctx, "table1", true, 1, 0, "", ""); err != nil {
+	if err := runAll(ctx, "table1", true, 1, 0, 0, "", ""); err != nil {
 		t.Fatalf("runAll(table1, quick): %v", err)
 	}
 }
 
 func TestRunAllRejectsUnknownExperiment(t *testing.T) {
-	if err := runAll(context.Background(), "table99", true, 1, 0, "", ""); err == nil {
+	if err := runAll(context.Background(), "table99", true, 1, 0, 0, "", ""); err == nil {
 		t.Fatal("unknown experiment name accepted")
 	}
 }

@@ -16,11 +16,15 @@
 package em
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/ic"
+	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 )
 
 // Config controls the EM estimator.
@@ -31,6 +35,12 @@ type Config struct {
 	// InitProb initializes every observed edge probability. Zero selects
 	// 0.1.
 	InitProb float64
+	// Workers bounds E-step parallelism. Zero or one runs single-threaded;
+	// results are bitwise identical at any worker count (EM has no sampling,
+	// so the estimate is the same fixed-point iteration regardless).
+	Workers int
+	// Telemetry, when non-nil, receives per-iteration training events.
+	Telemetry func(trainer.Event)
 }
 
 func (cfg Config) withDefaults() (Config, error) {
@@ -49,9 +59,48 @@ func (cfg Config) withDefaults() (Config, error) {
 	return cfg, nil
 }
 
+// Result is the outcome of TrainContext.
+type Result struct {
+	Probs *ic.EdgeProbs
+	// Epochs has one entry per completed EM round; Loss is the observed
+	// per-group log-likelihood ln P⁺ summed over success groups.
+	Epochs []trainer.EpochStat
+	// Canceled reports an early stop via context cancellation; Probs holds
+	// the estimate after the last fully completed round.
+	Canceled bool
+}
+
 // Train runs EM over the training log and returns the learned edge
-// probabilities.
+// probabilities. It is TrainContext without cancellation, returning just
+// the estimate.
 func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*ic.EdgeProbs, error) {
+	res, err := TrainContext(context.Background(), g, log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Probs, nil
+}
+
+// groupChunk is the number of success groups per E-step work unit, and
+// groupBlock the number of units per deterministic round. Both are part of
+// the determinism contract (see trainer.Pass), though for EM any chunking
+// yields the same fixed point — the E-step is read-only, so rounds only
+// bound scheduling.
+const (
+	groupChunk = 128
+	groupBlock = 16
+)
+
+// minPPlus floors the group success probability in the reported
+// log-likelihood so an all-zero group contributes a large-but-finite
+// penalty instead of −Inf (which the engine would read as divergence).
+const minPPlus = 1e-300
+
+// TrainContext runs EM under a cancellation context. E-step responsibility
+// computation is parallel over chunks of success groups; the numerator
+// accumulation and the M-step run serially, so the estimate is bitwise
+// identical at any Workers value.
+func TrainContext(ctx context.Context, g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -114,36 +163,98 @@ func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*ic.EdgeProbs, error
 	}
 
 	numer := make(map[int64]float64, len(trials))
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		for k := range numer {
-			delete(numer, k)
+	units := (len(groups) + groupChunk - 1) / groupChunk
+
+	// E-step pass: prepares compute each chunk's responsibility shares
+	// against the current estimate (read-only); commits fold them into the
+	// shared numerator map in group order.
+	prepare := func(unit int, r *rng.RNG, a any) {
+		sc := a.(*eScratch)
+		sc.shares = sc.shares[:0]
+		sc.loss = 0
+		lo, hi := unit*groupChunk, (unit+1)*groupChunk
+		if hi > len(groups) {
+			hi = len(groups)
 		}
-		// E-step: distribute responsibility within each success group.
-		for _, group := range groups {
+		for _, group := range groups[lo:hi] {
 			stay := 1.0
 			for _, slot := range group {
 				stay *= 1 - probs.ProbAt(slot)
 			}
 			pPlus := 1 - stay
+			sc.loss += math.Log(math.Max(pPlus, minPPlus))
 			if pPlus <= 0 {
 				// All influencer probabilities are zero; spread evenly to
 				// avoid a stuck all-zero fixed point.
 				share := 1 / float64(len(group))
-				for _, slot := range group {
-					numer[slot] += share
+				for range group {
+					sc.shares = append(sc.shares, share)
 				}
 				continue
 			}
 			for _, slot := range group {
-				numer[slot] += probs.ProbAt(slot) / pPlus
+				sc.shares = append(sc.shares, probs.ProbAt(slot)/pPlus)
 			}
 		}
-		// M-step.
+	}
+	commit := func(unit int, a any, tot *trainer.Totals) {
+		sc := a.(*eScratch)
+		k := 0
+		lo, hi := unit*groupChunk, (unit+1)*groupChunk
+		if hi > len(groups) {
+			hi = len(groups)
+		}
+		for _, group := range groups[lo:hi] {
+			for _, slot := range group {
+				numer[slot] += sc.shares[k]
+				k++
+			}
+		}
+		tot.Loss += sc.loss
+		tot.Examples += int64(k)
+	}
+
+	run, err := trainer.Run(ctx, trainer.RunConfig{
+		Method: "em", Epochs: cfg.Iterations,
+		Telemetry: cfg.Telemetry,
+	}, func(done <-chan struct{}, epoch int) trainer.Totals {
+		for k := range numer {
+			delete(numer, k)
+		}
+		pass := trainer.Pass{
+			Units:      units,
+			Workers:    cfg.Workers,
+			Block:      groupBlock,
+			NewScratch: func() any { return &eScratch{} },
+			Prepare:    prepare,
+			Commit:     commit,
+		}
+		totals := pass.Run(done)
+		select {
+		case <-done:
+			// Canceled mid-E-step: skip the M-step so probs keep the last
+			// fully completed round's estimate.
+			return totals
+		default:
+		}
+		// M-step. Per-slot updates are independent, so map order is
+		// irrelevant to the result.
 		for slot, t := range trials {
 			if t > 0 {
 				probs.SetAt(slot, numer[slot]/float64(t))
 			}
 		}
+		return totals
+	})
+	if err != nil {
+		return nil, err
 	}
-	return probs, nil
+	return &Result{Probs: probs, Epochs: run.Epochs, Canceled: run.Canceled}, nil
+}
+
+// eScratch holds one E-step chunk's responsibility shares, flattened in
+// group order; recycled across rounds.
+type eScratch struct {
+	shares []float64
+	loss   float64
 }

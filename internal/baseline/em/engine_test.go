@@ -1,0 +1,110 @@
+package em
+
+import (
+	"context"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/trainer"
+)
+
+// chainCascades builds a line graph with enough success groups that E-step
+// passes span several engine rounds.
+func chainCascades(t *testing.T) (*graph.Graph, *actionlog.Log) {
+	t.Helper()
+	const n = 12
+	var edges [][2]int32
+	for u := int32(0); u < n-1; u++ {
+		edges = append(edges, [2]int32{u, u + 1})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []actionlog.Action
+	for it := int32(0); it < 30; it++ {
+		start := (it * 3) % (n - 2)
+		actions = append(actions,
+			actionlog.Action{User: start, Item: it, Time: 1},
+			actionlog.Action{User: start + 1, Item: it, Time: 2},
+			actionlog.Action{User: start + 2, Item: it, Time: 3},
+		)
+	}
+	l, err := actionlog.FromActions(n, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l
+}
+
+// TestTrainDeterministicAcrossWorkers pins the engine's determinism
+// contract on this baseline: identical edge-probability estimates at 1, 2,
+// and 8 workers.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	g, l := chainCascades(t)
+	base := Config{Iterations: 6}
+	ref, err := Train(g, l, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		probs, err := Train(g, l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for slot := int64(0); slot < probs.NumEdges(); slot++ {
+			if probs.ProbAt(slot) != ref.ProbAt(slot) {
+				t.Fatalf("workers=%d: slot %d = %v, want %v",
+					workers, slot, probs.ProbAt(slot), ref.ProbAt(slot))
+			}
+		}
+	}
+}
+
+// TestTrainCancellationMidTrain kills training from inside round 2's start
+// event and expects the last completed round's estimate with Canceled set.
+func TestTrainCancellationMidTrain(t *testing.T) {
+	g, l := chainCascades(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Iterations: 100, Workers: 2,
+		Telemetry: func(e trainer.Event) {
+			if e.Kind == trainer.EventEpochStart && e.Epoch == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := TrainContext(ctx, g, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || len(res.Epochs) >= cfg.Iterations {
+		t.Fatalf("result = canceled %t after %d rounds", res.Canceled, len(res.Epochs))
+	}
+	if res.Probs == nil {
+		t.Fatal("canceled run returned no estimate")
+	}
+}
+
+// TestTrainReportsStats verifies round stats flow out of the engine: the
+// observed log-likelihood is finite and non-positive, and every group
+// membership is counted.
+func TestTrainReportsStats(t *testing.T) {
+	g, l := chainCascades(t)
+	res, err := TrainContext(context.Background(), g, l, Config{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("recorded %d rounds, want 3", len(res.Epochs))
+	}
+	for i, e := range res.Epochs {
+		if e.Loss > 0 || e.Examples == 0 || e.Duration <= 0 {
+			t.Fatalf("round %d stat = %+v", i, e)
+		}
+	}
+}

@@ -26,12 +26,14 @@
 package embic
 
 import (
+	"context"
 	"fmt"
 
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/embed"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 	"inf2vec/internal/vecmath"
 )
 
@@ -46,6 +48,11 @@ type Config struct {
 	LearningRate float64
 	// Seed drives initialization and example shuffling.
 	Seed uint64
+	// Workers bounds E-step/M-step parallelism. Zero or one runs
+	// single-threaded; results are bitwise identical at any worker count.
+	Workers int
+	// Telemetry, when non-nil, receives per-EM-round training events.
+	Telemetry func(trainer.Event)
 }
 
 func (cfg Config) withDefaults() (Config, error) {
@@ -95,8 +102,46 @@ type exposure struct {
 	u, v int32
 }
 
-// Train fits the embedded cascade model on the training log.
+// Result is the outcome of TrainContext.
+type Result struct {
+	Model *Model
+	// Epochs has one entry per completed EM round; Loss is the mean M-step
+	// expected complete-data log-likelihood per exposure.
+	Epochs []trainer.EpochStat
+	// Canceled reports an early stop via context cancellation; Model holds
+	// the best-so-far parameters.
+	Canceled bool
+}
+
+// Train fits the embedded cascade model on the training log. It is
+// TrainContext without cancellation, returning just the model.
 func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Model, error) {
+	res, err := TrainContext(context.Background(), g, log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}
+
+// Engine round geometry: the E-step processes groups in chunks of eChunk
+// with eBlock chunks per round (responsibilities are read-only, so rounds
+// only bound scheduling); the M-step commits mBlock units — success groups
+// or failed trials — per round (small, since its commits write the
+// embeddings its prepares read). All three are part of the determinism
+// contract (see trainer.Pass).
+const (
+	eChunk = 128
+	eBlock = 16
+	mBlock = 64
+)
+
+// TrainContext fits the embedded cascade model under a cancellation
+// context. Each EM round runs the E-step (responsibilities, prepared in
+// parallel against the current embeddings) and one M-step SGD pass
+// (exposure gradients prepared in parallel against round-start parameters,
+// committed in deterministic shuffled order), so results are bitwise
+// identical at any Workers value.
+func TrainContext(ctx context.Context, g *graph.Graph, log *actionlog.Log, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -143,61 +188,158 @@ func Train(g *graph.Graph, log *actionlog.Log, cfg Config) (*Model, error) {
 		}
 	})
 	if len(groups) == 0 && len(failures) == 0 {
-		return m, nil
+		return &Result{Model: m}, nil
 	}
 
 	resp := make([][]float64, len(groups))
 	for i := range groups {
 		resp[i] = make([]float64, len(groups[i]))
 	}
-	sgdRNG := root.Split()
+	streamBase := root.Uint64()
+	eUnits := (len(groups) + eChunk - 1) / eChunk
 
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		// E-step: responsibilities under the current embeddings.
-		for i, group := range groups {
+	// E-step pass: responsibilities under the current embeddings. Prepares
+	// are read-only on the model; each commit copies one chunk's shares into
+	// the (group-disjoint) resp rows.
+	ePrepare := func(unit int, r *rng.RNG, a any) {
+		sc := a.(*eScratch)
+		sc.shares = sc.shares[:0]
+		lo, hi := unit*eChunk, (unit+1)*eChunk
+		if hi > len(groups) {
+			hi = len(groups)
+		}
+		for _, group := range groups[lo:hi] {
 			stay := 1.0
 			for _, ex := range group {
 				stay *= 1 - m.Prob(ex.u, ex.v)
 			}
 			pPlus := 1 - stay
-			for j, ex := range group {
+			for _, ex := range group {
 				if pPlus <= 1e-12 {
-					resp[i][j] = 1 / float64(len(group))
+					sc.shares = append(sc.shares, 1/float64(len(group)))
 				} else {
-					resp[i][j] = m.Prob(ex.u, ex.v) / pPlus
+					sc.shares = append(sc.shares, m.Prob(ex.u, ex.v)/pPlus)
 				}
-			}
-		}
-		// M-step: one SGD pass over the weighted objective. Success
-		// exposures carry label r (their responsibility); failures carry
-		// label 0. The gradient of the log-likelihood w.r.t. the logit
-		// s = b − ‖ω_u − z_v‖² is (label − σ(s)).
-		order := sgdRNG.Perm(len(groups) + len(failures))
-		for _, idx := range order {
-			if idx < len(groups) {
-				for j, ex := range groups[idx] {
-					m.update(ex, resp[idx][j], cfg.LearningRate)
-				}
-			} else {
-				m.update(failures[idx-len(groups)], 0, cfg.LearningRate)
 			}
 		}
 	}
-	return m, nil
+	eCommit := func(unit int, a any, tot *trainer.Totals) {
+		sc := a.(*eScratch)
+		k := 0
+		lo, hi := unit*eChunk, (unit+1)*eChunk
+		if hi > len(groups) {
+			hi = len(groups)
+		}
+		for i := lo; i < hi; i++ {
+			k += copy(resp[i], sc.shares[k:k+len(resp[i])])
+		}
+	}
+
+	// M-step pass: one SGD sweep over the weighted objective in seeded
+	// shuffled order. Success exposures carry label r (their
+	// responsibility); failures carry label 0. The gradient of the
+	// log-likelihood w.r.t. the logit s = b − ‖ω_u − z_v‖² is (label − σ(s));
+	// prepares compute it against round-start parameters, commits apply it
+	// to the live rows.
+	mPrepare := func(unit int, r *rng.RNG, a any) {
+		sc := a.(*mScratch)
+		sc.exs = sc.exs[:0]
+		sc.loss = 0
+		if unit < len(groups) {
+			for j, ex := range groups[unit] {
+				sc.prepare(m, ex, resp[unit][j], cfg.LearningRate)
+			}
+		} else {
+			sc.prepare(m, failures[unit-len(groups)], 0, cfg.LearningRate)
+		}
+	}
+	mCommit := func(unit int, a any, tot *trainer.Totals) {
+		sc := a.(*mScratch)
+		for _, pe := range sc.exs {
+			su := m.Store.SourceVec(pe.u)
+			tv := m.Store.TargetVec(pe.v)
+			// ds/dω_u = −2(ω_u − z_v); ds/dz_v = 2(ω_u − z_v); ds/db = 1.
+			for i := range su {
+				diff := su[i] - tv[i]
+				su[i] -= 2 * pe.g * diff
+				tv[i] += 2 * pe.g * diff
+			}
+			m.Bias += float64(pe.g)
+		}
+		tot.Loss += sc.loss
+		tot.Examples += int64(len(sc.exs))
+	}
+
+	run, err := trainer.Run(ctx, trainer.RunConfig{
+		Method: "embic", Epochs: cfg.Iterations,
+		LearningRate: func(int) float64 { return cfg.LearningRate },
+		Telemetry:    cfg.Telemetry,
+		Probe:        func() bool { return m.Store.SampleNonFinite(4096) },
+	}, func(done <-chan struct{}, epoch int) trainer.Totals {
+		ePass := trainer.Pass{
+			Units:      eUnits,
+			Workers:    cfg.Workers,
+			Block:      eBlock,
+			Seed:       trainer.StreamSeed(streamBase, uint64(epoch), 0),
+			NewScratch: func() any { return &eScratch{} },
+			Prepare:    ePrepare,
+			Commit:     eCommit,
+		}
+		totals := ePass.Run(done)
+		select {
+		case <-done:
+			return totals
+		default:
+		}
+		mPass := trainer.Pass{
+			Units:      len(groups) + len(failures),
+			Workers:    cfg.Workers,
+			Block:      mBlock,
+			Seed:       trainer.StreamSeed(streamBase, uint64(epoch), 1),
+			Shuffle:    true,
+			NewScratch: func() any { return &mScratch{} },
+			Prepare:    mPrepare,
+			Commit:     mCommit,
+		}
+		mTotals := mPass.Run(done)
+		totals.Loss += mTotals.Loss
+		totals.Examples += mTotals.Examples
+		totals.Skips += mTotals.Skips
+		return totals
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Model: m, Epochs: run.Epochs, Canceled: run.Canceled}, nil
 }
 
-// update applies one gradient step for an exposure with the given label.
-func (m *Model) update(ex exposure, label, lr float64) {
-	su := m.Store.SourceVec(ex.u)
-	tv := m.Store.TargetVec(ex.v)
-	d := vecmath.SquaredDistance(su, tv)
-	p := vecmath.Sigmoid(m.Bias - float64(d))
-	g := float32((label - p) * lr)
-	// ds/dω_u = −2(ω_u − z_v); ds/dz_v = 2(ω_u − z_v); ds/db = 1.
-	for i := range su {
-		diff := su[i] - tv[i]
-		su[i] -= 2 * g * diff
-		tv[i] += 2 * g * diff
-	}
-	m.Bias += float64(g)
+// eScratch holds one E-step chunk's responsibilities, flattened in group
+// order; recycled across rounds.
+type eScratch struct {
+	shares []float64
+}
+
+// preparedExp is one M-step exposure with its gradient coefficient
+// (label − σ(s))·lr computed against the round-start parameters.
+type preparedExp struct {
+	u, v int32
+	g    float32
+}
+
+// mScratch holds one M-step unit's prepared exposures; recycled across
+// rounds.
+type mScratch struct {
+	exs  []preparedExp
+	loss float64
+}
+
+// prepare scores one exposure against the current (round-start) parameters
+// and stages its update. Loss is the exposure's expected complete-data
+// log-likelihood term label·ln σ(s) + (1−label)·ln(1−σ(s)).
+func (sc *mScratch) prepare(m *Model, ex exposure, label, lr float64) {
+	d := vecmath.SquaredDistance(m.Store.SourceVec(ex.u), m.Store.TargetVec(ex.v))
+	s := m.Bias - float64(d)
+	p := vecmath.Sigmoid(s)
+	sc.exs = append(sc.exs, preparedExp{u: ex.u, v: ex.v, g: float32((label - p) * lr)})
+	sc.loss += label*vecmath.LogSigmoid(s) + (1-label)*vecmath.LogSigmoid(-s)
 }

@@ -1,0 +1,119 @@
+package embic
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/trainer"
+)
+
+// chainCascades builds a 12-node line graph with cascades that propagate
+// along even edges, big enough that EM passes span several engine rounds.
+func chainCascades(t *testing.T) (*graph.Graph, *actionlog.Log) {
+	t.Helper()
+	const n = 12
+	var edges [][2]int32
+	for u := int32(0); u < n-1; u++ {
+		edges = append(edges, [2]int32{u, u + 1})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []actionlog.Action
+	for it := int32(0); it < 20; it++ {
+		start := (it * 2) % (n - 2)
+		actions = append(actions,
+			actionlog.Action{User: start, Item: it, Time: 1},
+			actionlog.Action{User: start + 1, Item: it, Time: 2},
+			actionlog.Action{User: start + 2, Item: it, Time: 3},
+		)
+	}
+	l, err := actionlog.FromActions(n, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, l
+}
+
+func storeBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainDeterministicAcrossWorkers pins the engine's determinism
+// contract on this baseline: identical embeddings (and bias) at 1, 2, and
+// 8 workers.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	g, l := chainCascades(t)
+	base := Config{Dim: 8, Iterations: 5, Seed: 31}
+	ref, err := Train(g, l, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := storeBytes(t, ref)
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		m, err := Train(g, l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(storeBytes(t, m), refBytes) || m.Bias != ref.Bias {
+			t.Fatalf("workers=%d model differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTrainCancellationMidTrain kills training from inside epoch 2's start
+// event and expects a best-so-far model with Canceled set.
+func TestTrainCancellationMidTrain(t *testing.T) {
+	g, l := chainCascades(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Dim: 8, Iterations: 100, Seed: 5, Workers: 2,
+		Telemetry: func(e trainer.Event) {
+			if e.Kind == trainer.EventEpochStart && e.Epoch == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := TrainContext(ctx, g, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || len(res.Epochs) >= cfg.Iterations {
+		t.Fatalf("result = canceled %t after %d epochs", res.Canceled, len(res.Epochs))
+	}
+	if res.Model == nil || res.Model.Store == nil {
+		t.Fatal("canceled run returned no best-so-far model")
+	}
+}
+
+// TestTrainReportsStats verifies epoch stats flow out of the engine: the
+// M-step's weighted log-likelihood is negative and every exposure counted.
+func TestTrainReportsStats(t *testing.T) {
+	g, l := chainCascades(t)
+	res, err := TrainContext(context.Background(), g, l, Config{
+		Dim: 8, Iterations: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("recorded %d epochs, want 3", len(res.Epochs))
+	}
+	for i, e := range res.Epochs {
+		if e.Loss >= 0 || e.Examples == 0 || e.Duration <= 0 {
+			t.Fatalf("epoch %d stat = %+v", i, e)
+		}
+	}
+}

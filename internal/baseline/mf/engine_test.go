@@ -1,0 +1,110 @@
+package mf
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/trainer"
+)
+
+// denseLog builds a log big enough that epochs span several engine rounds.
+func denseLog(t *testing.T) *actionlog.Log {
+	t.Helper()
+	var actions []actionlog.Action
+	for it := int32(0); it < 60; it++ {
+		base := (it % 10) * 3
+		for off := int32(0); off < 3; off++ {
+			actions = append(actions, actionlog.Action{User: base + off, Item: it, Time: float64(off + 1)})
+		}
+	}
+	l, err := actionlog.FromActions(30, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func storeBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainDeterministicAcrossWorkers pins the engine's determinism
+// contract on this baseline: identical factorizations at 1, 2, and 8
+// workers.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	l := denseLog(t)
+	base := Config{Dim: 8, Iterations: 4, Seed: 23}
+	ref, err := Train(l, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := storeBytes(t, ref)
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		m, err := Train(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(storeBytes(t, m), refBytes) {
+			t.Fatalf("workers=%d factorization differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTrainCancellationMidTrain kills training from inside epoch 2's start
+// event and expects a best-so-far model with Canceled set.
+func TestTrainCancellationMidTrain(t *testing.T) {
+	l := denseLog(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Dim: 8, Iterations: 100, Seed: 5, Workers: 2,
+		Telemetry: func(e trainer.Event) {
+			if e.Kind == trainer.EventEpochStart && e.Epoch == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := TrainContext(ctx, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || len(res.Epochs) >= cfg.Iterations {
+		t.Fatalf("result = canceled %t after %d epochs", res.Canceled, len(res.Epochs))
+	}
+	if res.Model == nil || res.Model.Store == nil {
+		t.Fatal("canceled run returned no best-so-far model")
+	}
+}
+
+// TestTrainCountsSkips forces rejection-sampling exhaustion — every user
+// co-acts with everyone, so no negative exists — and expects draws to be
+// counted as skips rather than silently vanishing.
+func TestTrainCountsSkips(t *testing.T) {
+	var actions []actionlog.Action
+	for u := int32(0); u < 3; u++ {
+		actions = append(actions, actionlog.Action{User: u, Item: 0, Time: float64(u + 1)})
+	}
+	l, err := actionlog.FromActions(3, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainContext(context.Background(), l, Config{Dim: 4, Iterations: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range res.Epochs {
+		if e.Skips == 0 || e.Examples != 0 {
+			t.Fatalf("epoch %d: %d skips, %d examples; want all %d draws skipped",
+				i, e.Skips, e.Examples, 6)
+		}
+	}
+}

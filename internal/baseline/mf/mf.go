@@ -9,12 +9,14 @@
 package mf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/embed"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 	"inf2vec/internal/vecmath"
 )
 
@@ -32,6 +34,11 @@ type Config struct {
 	Reg float64
 	// Seed drives initialization and sampling.
 	Seed uint64
+	// Workers bounds sampling/gradient parallelism. Zero or one runs
+	// single-threaded; results are bitwise identical at any worker count.
+	Workers int
+	// Telemetry, when non-nil, receives per-epoch training events.
+	Telemetry func(trainer.Event)
 }
 
 func (cfg Config) withDefaults() (Config, error) {
@@ -64,8 +71,45 @@ type Model struct {
 // Score returns the learned affinity of (u,v).
 func (m *Model) Score(u, v int32) float64 { return m.Store.Score(u, v) }
 
+// Result is the outcome of TrainContext.
+type Result struct {
+	Model *Model
+	// Epochs has one entry per completed pass; Skips counts draws whose
+	// negative rejection sampling exhausted its attempt budget (previously
+	// these were discarded silently).
+	Epochs []trainer.EpochStat
+	// Canceled reports an early stop via context cancellation; Model holds
+	// the best-so-far factorization.
+	Canceled bool
+}
+
 // Train fits the factorization on the training log's co-action structure.
+// It is TrainContext without cancellation, returning just the model.
 func Train(log *actionlog.Log, cfg Config) (*Model, error) {
+	res, err := TrainContext(context.Background(), log, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}
+
+// drawChunk is the number of BPR draws per engine work unit, and drawBlock
+// the number of units per deterministic round. Both are part of the
+// determinism contract (see trainer.Pass).
+const (
+	drawChunk = 64
+	drawBlock = 8
+)
+
+// maxNegativeDraws bounds the rejection sampling of a negative per draw.
+const maxNegativeDraws = 10
+
+// TrainContext fits the factorization under a cancellation context. Each
+// epoch draws one (positive, negative) pair per observed co-action; draws
+// are sampled and scored in parallel chunks against round-start parameters
+// and committed in deterministic order, so results are bitwise identical at
+// any Workers value.
+func TrainContext(ctx context.Context, log *actionlog.Log, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -88,22 +132,33 @@ func Train(log *actionlog.Log, cfg Config) (*Model, error) {
 		}
 	}
 	if len(rows) == 0 {
-		return m, nil
+		return &Result{Model: m}, nil
 	}
 
 	n := log.NumUsers()
-	r := root.Split()
+	streamBase := root.Uint64()
 	lr := float32(cfg.LearningRate)
 	reg := float32(cfg.Reg)
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		for draw := int64(0); draw < totalPos; draw++ {
+	units := int((totalPos + drawChunk - 1) / drawChunk)
+
+	prepare := func(unit int, r *rng.RNG, a any) {
+		sc := a.(*drawScratch)
+		sc.triples = sc.triples[:0]
+		sc.loss, sc.skips = 0, 0
+		draws := drawChunk
+		if rem := totalPos - int64(unit)*drawChunk; rem < drawChunk {
+			draws = int(rem)
+		}
+		for d := 0; d < draws; d++ {
 			u := rows[r.Intn(len(rows))]
 			ps := positives[u]
 			v := ps[r.Intn(len(ps))]
 			// Rejection-sample a negative: a user sharing no action with u.
+			// Exhaustion (u co-acts with nearly everyone) is counted rather
+			// than silently discarded.
 			var w int32
 			ok := false
-			for attempt := 0; attempt < 10; attempt++ {
+			for attempt := 0; attempt < maxNegativeDraws; attempt++ {
 				w = r.Int31n(n)
 				if w != u && !contains(ps, w) {
 					ok = true
@@ -111,24 +166,75 @@ func Train(log *actionlog.Log, cfg Config) (*Model, error) {
 				}
 			}
 			if !ok {
-				continue // u co-acts with nearly everyone; skip this draw
+				sc.skips++
+				continue
 			}
-			m.bprStep(u, v, w, lr, reg)
+			pu := store.SourceVec(u)
+			dScore := vecmath.Dot(pu, store.TargetVec(v)) - vecmath.Dot(pu, store.TargetVec(w)) +
+				*store.BiasTarget(v) - *store.BiasTarget(w)
+			sc.triples = append(sc.triples, bprTriple{
+				u: u, v: v, w: w,
+				g: float32(vecmath.Sigmoid(-float64(dScore))) * lr, // ∂ lnσ(d)/∂d · lr
+			})
+			sc.loss += vecmath.LogSigmoid(float64(dScore))
 		}
 	}
-	return m, nil
+	commit := func(unit int, a any, tot *trainer.Totals) {
+		sc := a.(*drawScratch)
+		for _, tr := range sc.triples {
+			m.bprApply(tr, lr, reg)
+		}
+		tot.Loss += sc.loss
+		tot.Examples += int64(len(sc.triples))
+		tot.Skips += sc.skips
+	}
+
+	run, err := trainer.Run(ctx, trainer.RunConfig{
+		Method: "mf", Epochs: cfg.Iterations,
+		LearningRate: func(int) float64 { return cfg.LearningRate },
+		Telemetry:    cfg.Telemetry,
+		Probe:        func() bool { return store.SampleNonFinite(4096) },
+	}, func(done <-chan struct{}, epoch int) trainer.Totals {
+		pass := trainer.Pass{
+			Units:      units,
+			Workers:    cfg.Workers,
+			Block:      drawBlock,
+			Seed:       trainer.StreamSeed(streamBase, uint64(epoch)),
+			NewScratch: func() any { return &drawScratch{} },
+			Prepare:    prepare,
+			Commit:     commit,
+		}
+		return pass.Run(done)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Model: m, Epochs: run.Epochs, Canceled: run.Canceled}, nil
 }
 
-// bprStep applies one BPR update for the triple (u, v⁺, w⁻).
-func (m *Model) bprStep(u, v, w int32, lr, reg float32) {
-	pu := m.Store.SourceVec(u)
-	qv := m.Store.TargetVec(v)
-	qw := m.Store.TargetVec(w)
-	bv := m.Store.BiasTarget(v)
-	bw := m.Store.BiasTarget(w)
+// bprTriple is one prepared draw: the sampled triple and the gradient
+// coefficient σ(−d)·lr computed against the round-start snapshot.
+type bprTriple struct {
+	u, v, w int32
+	g       float32
+}
 
-	d := vecmath.Dot(pu, qv) - vecmath.Dot(pu, qw) + *bv - *bw
-	g := float32(vecmath.Sigmoid(-float64(d))) * lr // ∂ lnσ(d)/∂d · lr
+// drawScratch is one unit's prepared draws, recycled across rounds.
+type drawScratch struct {
+	triples []bprTriple
+	loss    float64
+	skips   int64
+}
+
+// bprApply applies one BPR update for the triple (u, v⁺, w⁻), using the
+// prepared gradient coefficient with the live rows.
+func (m *Model) bprApply(tr bprTriple, lr, reg float32) {
+	pu := m.Store.SourceVec(tr.u)
+	qv := m.Store.TargetVec(tr.v)
+	qw := m.Store.TargetVec(tr.w)
+	bv := m.Store.BiasTarget(tr.v)
+	bw := m.Store.BiasTarget(tr.w)
+	g := tr.g
 
 	for i := range pu {
 		puI, qvI, qwI := pu[i], qv[i], qw[i]

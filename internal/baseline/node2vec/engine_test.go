@@ -1,0 +1,97 @@
+package node2vec
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"inf2vec/internal/trainer"
+)
+
+// storeBytes serializes a trained store for bitwise comparison.
+func storeBytes(t *testing.T, m *Model) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := m.Store.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainDeterministicAcrossWorkers pins the engine's determinism
+// contract on this baseline: identical embeddings at 1, 2, and 8 workers.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	g := twoCliques(t)
+	base := Config{Dim: 8, WalksPerNode: 6, WalkLength: 16, Window: 4, Epochs: 2, Seed: 19}
+	ref, err := Train(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := storeBytes(t, ref)
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		m, err := Train(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(storeBytes(t, m), refBytes) {
+			t.Fatalf("workers=%d embedding differs from workers=1", workers)
+		}
+	}
+}
+
+// TestTrainCancellationMidTrain kills training from inside epoch 2's start
+// event: the pass drains at its next round boundary and the best-so-far
+// model comes back with Canceled set.
+func TestTrainCancellationMidTrain(t *testing.T) {
+	g := twoCliques(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{
+		Dim: 8, WalksPerNode: 8, WalkLength: 16, Window: 4, Epochs: 50, Seed: 3,
+		Workers: 2,
+		Telemetry: func(e trainer.Event) {
+			if e.Kind == trainer.EventEpochStart && e.Epoch == 2 {
+				cancel()
+			}
+		},
+	}
+	res, err := TrainContext(ctx, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled {
+		t.Fatal("cancellation not reported")
+	}
+	if len(res.Epochs) >= cfg.Epochs {
+		t.Fatalf("recorded %d epochs despite cancellation", len(res.Epochs))
+	}
+	if res.Model == nil || res.Model.Store == nil {
+		t.Fatal("canceled run returned no best-so-far model")
+	}
+}
+
+// TestTrainReportsStats verifies epoch stats flow out of the engine: loss is
+// finite and negative (log-likelihood), positives are counted, and the skip
+// counter exists (usually zero on this healthy graph).
+func TestTrainReportsStats(t *testing.T) {
+	g := twoCliques(t)
+	res, err := TrainContext(context.Background(), g, Config{
+		Dim: 8, WalksPerNode: 4, WalkLength: 12, Window: 3, Epochs: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("recorded %d epochs, want 2", len(res.Epochs))
+	}
+	for i, e := range res.Epochs {
+		if e.Loss >= 0 || e.Examples == 0 || e.Duration <= 0 {
+			t.Fatalf("epoch %d stat = %+v", i, e)
+		}
+		if e.Skips < 0 {
+			t.Fatalf("epoch %d negative skips", i)
+		}
+	}
+}

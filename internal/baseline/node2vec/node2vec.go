@@ -8,11 +8,13 @@
 package node2vec
 
 import (
+	"context"
 	"fmt"
 
 	"inf2vec/internal/embed"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 	"inf2vec/internal/vecmath"
 	"inf2vec/internal/walk"
 )
@@ -42,6 +44,12 @@ type Config struct {
 	Epochs int
 	// Seed drives walks, sampling and initialization.
 	Seed uint64
+	// Workers bounds walk-generation/gradient parallelism. Zero or one runs
+	// single-threaded; results are bitwise identical at any worker count
+	// (the engine's deterministic prepare/commit rounds).
+	Workers int
+	// Telemetry, when non-nil, receives per-epoch training events.
+	Telemetry func(trainer.Event)
 }
 
 func (cfg Config) withDefaults() (Config, error) {
@@ -88,9 +96,39 @@ type Model struct {
 // Score returns the learned affinity of (u,v).
 func (m *Model) Score(u, v int32) float64 { return m.Store.Score(u, v) }
 
-// Train embeds the graph. The walk corpus is regenerated every epoch and
-// streamed straight into SGD, so memory stays O(walk length).
+// Result is the outcome of TrainContext.
+type Result struct {
+	Model *Model
+	// Epochs has one entry per completed pass; Skips counts negative draws
+	// abandoned after bounded resampling.
+	Epochs []trainer.EpochStat
+	// Canceled reports an early stop via context cancellation; Model holds
+	// the best-so-far embedding.
+	Canceled bool
+}
+
+// Train embeds the graph. It is TrainContext without cancellation,
+// returning just the model.
 func Train(g *graph.Graph, cfg Config) (*Model, error) {
+	res, err := TrainContext(context.Background(), g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Model, nil
+}
+
+// walkBlock is the engine round size in walks. Small enough that gradients
+// are at most a few hundred pairs stale, large enough to amortize the
+// round barrier. Part of the determinism contract (see trainer.Pass.Block).
+const walkBlock = 16
+
+// TrainContext embeds the graph under a cancellation context. The walk
+// corpus is regenerated every epoch and streamed straight into SGD, so
+// memory stays O(block · walk length). One work unit is one walk; walks are
+// prepared (walked, negatives sampled, gradient coefficients computed) in
+// parallel and committed in deterministic order, so results are bitwise
+// identical at any Workers value.
+func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -117,48 +155,233 @@ func Train(g *graph.Graph, cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("node2vec: negative table: %w", err)
 	}
 
-	r := root.Split()
+	streamBase := root.Uint64()
 	lr := float32(cfg.LearningRate)
 	walker := &walk.Node2vec{G: g, P: cfg.P, Q: cfg.Q}
-	srcGrad := make([]float32, cfg.Dim)
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		order := r.Perm(int(g.NumNodes()))
-		for _, start := range order {
-			if g.OutDegree(int32(start)) == 0 {
-				continue
-			}
-			for wk := 0; wk < cfg.WalksPerNode; wk++ {
-				path := walker.Walk(int32(start), cfg.WalkLength, r)
-				walk.WindowPairs(path, cfg.Window, func(center, context int32) {
-					m.sgdStep(center, context, neg, cfg.NegativeSamples, lr, srcGrad, r)
-				})
-			}
+	// Each unit (one walk) runs the classic sequential skip-gram SGD against
+	// a private overlay of the rows it touches, so the word2vec numerics —
+	// each pair seeing the saturation effects of the previous one — are
+	// preserved within a walk; only cross-walk staleness within one
+	// walkBlock round remains. The serial commit is just one delta-add per
+	// touched row, keeping the sequential fraction small.
+	prepare := func(unit int, r *rng.RNG, a any) {
+		sc := a.(*walkScratch)
+		sc.reset(cfg.Dim)
+		start := int32(unit / cfg.WalksPerNode)
+		if g.OutDegree(start) == 0 {
+			return
 		}
+		path := walker.Walk(start, cfg.WalkLength, r)
+		walk.WindowPairs(path, cfg.Window, func(center, context int32) {
+			su := sc.row(&sc.src, store.SourceVec, center)
+			vecmath.Zero(sc.srcGrad)
+			apply := func(x int32, label float32) {
+				tx := sc.row(&sc.tgt, store.TargetVec, x)
+				z := vecmath.Dot(su, tx)
+				gc := (label - vecmath.FastSigmoid(z)) * lr
+				vecmath.Axpy(gc, tx, sc.srcGrad)
+				vecmath.Axpy(gc, su, tx)
+				if label == 1 {
+					sc.loss += vecmath.LogSigmoid(float64(z))
+				} else {
+					sc.loss += vecmath.LogSigmoid(-float64(z))
+				}
+			}
+			apply(context, 1)
+			sc.positives++
+			for s := 0; s < cfg.NegativeSamples; s++ {
+				w, ok := sampleNegative(neg, r, center, context)
+				if !ok {
+					sc.skips++
+					continue
+				}
+				apply(w, 0)
+			}
+			vecmath.Axpy(1, sc.srcGrad, su)
+		})
 	}
-	return m, nil
+	// Commits stage each walk's row deltas into a round accumulator; the
+	// end-of-round hook applies each row's mean delta. Rows touched by a
+	// single walk get that walk's exact update; rows contested by several
+	// walks of the round get their consensus move (local-SGD model
+	// averaging), which keeps dense graphs stable where summing the
+	// conflicting deltas would compound past saturation.
+	acc := newRoundAccumulator(cfg.Dim)
+	commit := func(unit int, a any, tot *trainer.Totals) {
+		sc := a.(*walkScratch)
+		for id, o := range sc.src {
+			acc.add(&acc.src, id, o)
+		}
+		for id, o := range sc.tgt {
+			acc.add(&acc.tgt, id, o)
+		}
+		tot.Loss += sc.loss
+		tot.Examples += sc.positives
+		tot.Skips += sc.skips
+	}
+	endRound := func(tot *trainer.Totals) {
+		acc.apply(store.SourceVec, &acc.src)
+		acc.apply(store.TargetVec, &acc.tgt)
+	}
+
+	run, err := trainer.Run(ctx, trainer.RunConfig{
+		Method: "node2vec", Epochs: cfg.Epochs,
+		LearningRate: func(int) float64 { return cfg.LearningRate },
+		Telemetry:    cfg.Telemetry,
+		Probe:        func() bool { return store.SampleNonFinite(4096) },
+	}, func(done <-chan struct{}, epoch int) trainer.Totals {
+		pass := trainer.Pass{
+			Units:      int(g.NumNodes()) * cfg.WalksPerNode,
+			Workers:    cfg.Workers,
+			Block:      walkBlock,
+			Seed:       trainer.StreamSeed(streamBase, uint64(epoch)),
+			Shuffle:    true,
+			NewScratch: func() any { return &walkScratch{} },
+			Prepare:    prepare,
+			Commit:     commit,
+			EndRound:   endRound,
+		}
+		return pass.Run(done)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Model: m, Epochs: run.Epochs, Canceled: run.Canceled}, nil
 }
 
-// sgdStep applies one skip-gram negative-sampling update for (center,
-// context).
-func (m *Model) sgdStep(center, context int32, neg *rng.UnigramTable, negSamples int, lr float32, srcGrad []float32, r *rng.RNG) {
-	su := m.Store.SourceVec(center)
-	vecmath.Zero(srcGrad)
+// rowOverlay is a private working copy of one embedding row: cur is updated
+// by the walk's SGD, init remembers the round-start value so commit can
+// apply cur−init as a delta to the live row.
+type rowOverlay struct {
+	init []float32
+	cur  []float32
+}
 
-	apply := func(x int32, label float32) {
-		tx := m.Store.TargetVec(x)
-		z := vecmath.Dot(su, tx)
-		g := (label - vecmath.FastSigmoid(z)) * lr
-		vecmath.Axpy(g, tx, srcGrad)
-		vecmath.Axpy(g, su, tx)
+// walkScratch is one walk's prepared update, recycled across rounds.
+type walkScratch struct {
+	src       map[int32]*rowOverlay
+	tgt       map[int32]*rowOverlay
+	free      []*rowOverlay // overlay recycling across rounds
+	srcGrad   []float32     // word2vec-style per-pair S_u accumulator
+	loss      float64
+	positives int64
+	skips     int64
+}
+
+func (sc *walkScratch) reset(dim int) {
+	if sc.src == nil {
+		sc.src = make(map[int32]*rowOverlay)
+		sc.tgt = make(map[int32]*rowOverlay)
+		sc.srcGrad = make([]float32, dim)
 	}
-	apply(context, 1)
-	for s := 0; s < negSamples; s++ {
-		w := neg.Sample(r)
-		if w == context || w == center {
-			continue
+	for id, o := range sc.src {
+		sc.free = append(sc.free, o)
+		delete(sc.src, id)
+	}
+	for id, o := range sc.tgt {
+		sc.free = append(sc.free, o)
+		delete(sc.tgt, id)
+	}
+	sc.loss = 0
+	sc.positives = 0
+	sc.skips = 0
+}
+
+// row returns the walk's working copy of row id, snapshotting the live value
+// on first touch.
+func (sc *walkScratch) row(m *map[int32]*rowOverlay, live func(int32) []float32, id int32) []float32 {
+	if o, ok := (*m)[id]; ok {
+		return o.cur
+	}
+	var o *rowOverlay
+	if n := len(sc.free); n > 0 {
+		o = sc.free[n-1]
+		sc.free = sc.free[:n-1]
+	} else {
+		k := len(sc.srcGrad)
+		o = &rowOverlay{init: make([]float32, k), cur: make([]float32, k)}
+	}
+	copy(o.init, live(id))
+	copy(o.cur, o.init)
+	(*m)[id] = o
+	return o.cur
+}
+
+// accRow accumulates one row's deltas over a round: the summed per-walk
+// moves and the number of walks that touched the row.
+type accRow struct {
+	sum []float32
+	n   int32
+}
+
+// roundAccumulator gathers row deltas across one round's commits. Per-row
+// accumulation follows commit (unit) order and per-row application is
+// independent of other rows, so map iteration order cannot affect results.
+type roundAccumulator struct {
+	dim  int
+	src  map[int32]*accRow
+	tgt  map[int32]*accRow
+	free []*accRow
+}
+
+func newRoundAccumulator(dim int) *roundAccumulator {
+	return &roundAccumulator{
+		dim: dim,
+		src: make(map[int32]*accRow),
+		tgt: make(map[int32]*accRow),
+	}
+}
+
+// add folds one walk's overlay delta for a row into the round accumulator.
+func (ra *roundAccumulator) add(m *map[int32]*accRow, id int32, o *rowOverlay) {
+	a, ok := (*m)[id]
+	if !ok {
+		if n := len(ra.free); n > 0 {
+			a = ra.free[n-1]
+			ra.free = ra.free[:n-1]
+			for i := range a.sum {
+				a.sum[i] = 0
+			}
+			a.n = 0
+		} else {
+			a = &accRow{sum: make([]float32, ra.dim)}
 		}
-		apply(w, 0)
+		(*m)[id] = a
 	}
-	vecmath.Axpy(1, srcGrad, su)
+	for i := range a.sum {
+		a.sum[i] += o.cur[i] - o.init[i]
+	}
+	a.n++
+}
+
+// apply folds each accumulated row's mean delta into the live parameters and
+// empties the accumulator for the next round.
+func (ra *roundAccumulator) apply(live func(int32) []float32, m *map[int32]*accRow) {
+	for id, a := range *m {
+		row := live(id)
+		inv := 1 / float32(a.n)
+		for i := range row {
+			row[i] += a.sum[i] * inv
+		}
+		ra.free = append(ra.free, a)
+		delete(*m, id)
+	}
+}
+
+// maxNegativeDraws bounds sampleNegative's rejection loop.
+const maxNegativeDraws = 8
+
+// sampleNegative draws a negative for the pair (center, context), resampling
+// when the table returns either endpoint. The old behavior skipped such
+// collisions outright, silently shrinking the effective negative count near
+// high-degree nodes; bounded resampling keeps the count honest, and
+// exhaustion (degenerate near-single-node tables) is counted as a skip.
+func sampleNegative(neg *rng.UnigramTable, r *rng.RNG, center, context int32) (int32, bool) {
+	for i := 0; i < maxNegativeDraws; i++ {
+		if w := neg.Sample(r); w != context && w != center {
+			return w, true
+		}
+	}
+	return 0, false
 }

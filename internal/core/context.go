@@ -10,6 +10,7 @@ import (
 	"inf2vec/internal/diffusion"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 	"inf2vec/internal/walk"
 )
 
@@ -125,7 +126,7 @@ func corpusGenWorkers(cfg Config, numEpisodes int) int {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if raceEnabled {
+	if trainer.RaceEnabled() {
 		workers = 1
 	}
 	if workers > numEpisodes {

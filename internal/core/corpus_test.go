@@ -11,6 +11,7 @@ import (
 	"inf2vec/internal/embed"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 )
 
 // corpusWorld builds a random-ish multi-episode dataset with enough episodes
@@ -221,7 +222,7 @@ func TestWorkerStreamCountStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := 8
-	if raceEnabled {
+	if trainer.RaceEnabled() {
 		want = 1
 	}
 	if len(st.Workers) != want {
@@ -229,8 +230,8 @@ func TestWorkerStreamCountStable(t *testing.T) {
 	}
 }
 
-// TestRunEpochClampsWorkersToCorpus drives runEpoch directly with more
-// worker generators than tuples: the pass must process every positive
+// TestRunEpochClampsWorkersToCorpus drives a hogwild pass directly with
+// more worker generators than tuples: the pass must process every positive
 // exactly once rather than panic or double-count on empty shards.
 func TestRunEpochClampsWorkersToCorpus(t *testing.T) {
 	store, err := embed.New(4, 4)
@@ -249,18 +250,23 @@ func TestRunEpochClampsWorkersToCorpus(t *testing.T) {
 	}
 	cfg := mustCfg(t, Config{Dim: 4})
 	// Honor the production invariant that hogwild runs single-threaded under
-	// the race detector (makeWorkerRNGs never hands runEpoch more than one
+	// the race detector (makeWorkerRNGs never hands the engine more than one
 	// stream there); the clamp itself is exercised on the regular test leg.
 	streams := 8
-	if raceEnabled {
+	if trainer.RaceEnabled() {
 		streams = 1
 	}
 	rngs := make([]*rng.RNG, streams)
 	for i := range rngs {
 		rngs[i] = root.Split()
 	}
-	_, positives := runEpoch(nil, store, tuples, []int{0, 1}, neg, cfg, 0.01, rngs)
-	if positives != 3 {
-		t.Fatalf("positives = %d, want 3", positives)
+	pass := trainer.HogwildPass{
+		Order:     []int{0, 1},
+		RNGs:      rngs,
+		Objective: sgnsObjective(store, tuples, neg, cfg, 0.01),
+	}
+	totals := pass.Run(nil)
+	if totals.Examples != 3 {
+		t.Fatalf("positives = %d, want 3", totals.Examples)
 	}
 }

@@ -31,6 +31,12 @@ const (
 	// EventTrainEnd is emitted once per run that returns a model (completed
 	// or canceled); error returns emit nothing further.
 	EventTrainEnd EventKind = "train_end"
+	// EventBaselineStart and EventBaselineEnd bracket one baseline method's
+	// training when a suite trains several models into one stream; Method
+	// names the model. The baseline's own train_start..train_end events (if
+	// any) appear between them.
+	EventBaselineStart EventKind = "baseline_start"
+	EventBaselineEnd   EventKind = "baseline_end"
 )
 
 // Event is one typed training-telemetry record. Fields beyond Kind and Time
@@ -44,6 +50,10 @@ type Event struct {
 	Kind EventKind `json:"event"`
 	// Time is stamped by the trainer when the event is emitted.
 	Time time.Time `json:"t"`
+	// Method names the model an event belongs to when several methods share
+	// one stream (baseline_* events and forwarded baseline telemetry); empty
+	// for Inf2vec's own training events.
+	Method string `json:"method,omitempty"`
 	// Epoch is the 1-based epoch the event describes.
 	Epoch int `json:"epoch,omitempty"`
 	// Epochs is the total number of configured iterations (train_start) or
@@ -61,6 +71,11 @@ type Event struct {
 	// NumTuples and NumPositives describe the generated corpus (train_start).
 	NumTuples    int   `json:"tuples,omitempty"`
 	NumPositives int64 `json:"positives,omitempty"`
+	// Examples and Skips mirror forwarded baseline epoch stats (see
+	// trainer.Event): examples processed in the pass, and negative draws
+	// abandoned after bounded resampling.
+	Examples int64 `json:"examples,omitempty"`
+	Skips    int64 `json:"skips,omitempty"`
 	// EpisodesDone, EpisodesTotal, EpisodesPerSec and CorpusWorkers report
 	// context-generation progress (corpus_progress).
 	EpisodesDone   int     `json:"episodes_done,omitempty"`

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"inf2vec/internal/actionlog"
@@ -13,6 +12,7 @@ import (
 	"inf2vec/internal/embed"
 	"inf2vec/internal/graph"
 	"inf2vec/internal/rng"
+	"inf2vec/internal/trainer"
 	"inf2vec/internal/vecmath"
 )
 
@@ -328,7 +328,13 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		gamma := gammaAt(cfg, epoch, lrScale)
 		cfg.emit(Event{Kind: EventEpochStart, Epoch: epoch + 1, LearningRate: float64(gamma)})
 		t0 := time.Now()
-		totalLoss, totalPos := runEpoch(done, store, corpus.Tuples, order, neg, cfg, gamma, workerRNGs)
+		pass := trainer.HogwildPass{
+			Order:     order,
+			RNGs:      workerRNGs,
+			Objective: sgnsObjective(store, corpus.Tuples, neg, cfg, gamma),
+		}
+		totals := pass.Run(done)
+		totalLoss, totalPos := totals.Loss, totals.Examples
 		if ctx.Err() != nil {
 			// Canceled mid-pass: workers drained early, the store holds a
 			// usable partial update but not an epoch boundary, so the pass
@@ -415,111 +421,51 @@ func epochGamma(cfg Config, epoch int) float32 {
 // count is fixed for the whole run — it is part of the checkpoint contract —
 // and is NOT clamped to the corpus size here: under RegenerateContexts a
 // later draw can be larger than the first, and a clamp frozen at the initial
-// corpus would starve it of workers. runEpoch clamps the shards to each
+// corpus would starve it of workers. The engine clamps the shards to each
 // epoch's actual corpus instead.
 func makeWorkerRNGs(cfg Config, root *rng.RNG) []*rng.RNG {
-	workers := cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if raceEnabled {
-		// Hogwild's lock-free row updates are deliberate data races; under
-		// the race detector run sequentially instead.
-		workers = 1
-	}
-	out := make([]*rng.RNG, workers)
+	out := make([]*rng.RNG, trainer.HogwildWorkers(cfg.Workers))
 	for i := range out {
 		out[i] = root.Split()
 	}
 	return out
 }
 
-// runEpoch executes one SGD pass, sharded across the worker generators.
-// A close of done stops every shard at its next cancellation check. Shards
-// are clamped to the pass's corpus size per epoch (a tuple-per-worker
-// minimum), leaving surplus worker streams untouched.
-func runEpoch(done <-chan struct{}, store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, workerRNGs []*rng.RNG) (totalLoss float64, totalPos int64) {
-	workers := len(workerRNGs)
-	if workers > len(order) {
-		workers = len(order)
-	}
-	if workers <= 1 {
-		return sgdPass(done, store, tuples, order, neg, cfg, gamma, workerRNGs[0])
-	}
-	// Hogwild: shards update the shared store without locks. Lost updates
-	// on colliding rows are rare and benign for SGD; results are
-	// statistically (not bitwise) reproducible.
-	var wg sync.WaitGroup
-	losses := make([]float64, workers)
-	counts := make([]int64, workers)
-	chunk := (len(order) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(order) {
-			hi = len(order)
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			losses[w], counts[w] = sgdPass(done, store, tuples, order[lo:hi], neg, cfg, gamma, workerRNGs[w])
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for w := 0; w < workers; w++ {
-		totalLoss += losses[w]
-		totalPos += counts[w]
-	}
-	return totalLoss, totalPos
-}
+// sgnsObjective adapts the Eq. 5/6 skip-gram negative-sampling update to the
+// engine: each example is one corpus tuple, processed exactly as the
+// original hand-rolled pass did — the golden test pins this adaptation
+// bitwise to the pre-engine implementation. Loss sums the Eq. 4 objective;
+// Examples counts positives.
+func sgnsObjective(store *embed.Store, tuples []Tuple, neg *rng.UnigramTable, cfg Config, gamma float32) trainer.HogwildObjective {
+	return func(r *rng.RNG) trainer.PassFunc {
+		// srcGrad accumulates the update for S_u across one positive + its
+		// negatives, word2vec style; per-worker scratch reused across tuples.
+		srcGrad := make([]float32, store.Dim())
+		return func(ti int, tot *trainer.Totals) {
+			t := &tuples[ti]
+			u := t.Center
+			su := store.SourceVec(u)
+			bu := store.BiasSource(u)
+			for _, v := range t.Context {
+				vecmath.Zero(srcGrad)
 
-// cancelCheckInterval is how many tuples each shard processes between
-// cancellation checks: frequent enough that Ctrl-C feels immediate, cheap
-// enough (one channel poll per 256 tuples) to be invisible in profiles.
-const cancelCheckInterval = 256
+				// Positive example: label 1, gradient coefficient (1 - σ(z_v)).
+				tot.Loss += applyExample(store, su, bu, u, v, 1, gamma, srcGrad, cfg)
+				tot.Examples++
 
-// sgdPass performs one pass over the tuples selected by order at step size
-// gamma, applying the Eq. 5/6 updates, and returns the summed Eq. 4
-// objective and the number of positives processed. It returns early (with
-// the partial sums) when done is closed.
-func sgdPass(done <-chan struct{}, store *embed.Store, tuples []Tuple, order []int, neg *rng.UnigramTable, cfg Config, gamma float32, r *rng.RNG) (loss float64, positives int64) {
-	k := store.Dim()
-	srcGrad := make([]float32, k) // accumulated update for S_u across one positive + its negatives
-
-	for idx, ti := range order {
-		if done != nil && idx%cancelCheckInterval == 0 {
-			select {
-			case <-done:
-				return loss, positives
-			default:
-			}
-		}
-		t := &tuples[ti]
-		u := t.Center
-		su := store.SourceVec(u)
-		bu := store.BiasSource(u)
-		for _, v := range t.Context {
-			vecmath.Zero(srcGrad)
-
-			// Positive example: label 1, gradient coefficient (1 - σ(z_v)).
-			loss += applyExample(store, su, bu, u, v, 1, gamma, srcGrad, cfg)
-			positives++
-
-			// Negative examples: label 0, coefficient (0 - σ(z_w)).
-			for s := 0; s < cfg.NegativeSamples; s++ {
-				w, ok := sampleNegative(neg, r, u, v)
-				if !ok {
-					continue
+				// Negative examples: label 0, coefficient (0 - σ(z_w)).
+				for s := 0; s < cfg.NegativeSamples; s++ {
+					w, ok := sampleNegative(neg, r, u, v)
+					if !ok {
+						tot.Skips++
+						continue
+					}
+					tot.Loss += applyExample(store, su, bu, u, w, 0, gamma, srcGrad, cfg)
 				}
-				loss += applyExample(store, su, bu, u, w, 0, gamma, srcGrad, cfg)
+				vecmath.Axpy(1, srcGrad, su)
 			}
-			vecmath.Axpy(1, srcGrad, su)
 		}
 	}
-	return loss, positives
 }
 
 // maxNegativeDraws bounds sampleNegative's rejection loop.

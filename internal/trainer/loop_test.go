@@ -1,0 +1,95 @@
+package trainer
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestRunEpochLoop covers the happy path: stats per epoch, mean loss,
+// and the telemetry envelope with the method label on every event.
+func TestRunEpochLoop(t *testing.T) {
+	var events []Event
+	res, err := Run(context.Background(), RunConfig{
+		Method: "demo", Epochs: 3,
+		LearningRate: func(epoch int) float64 { return 0.1 / float64(epoch+1) },
+		Telemetry:    func(e Event) { events = append(events, e) },
+	}, func(done <-chan struct{}, epoch int) Totals {
+		return Totals{Loss: -2 * float64(epoch+1), Examples: 2, Skips: int64(epoch)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Canceled || len(res.Epochs) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i, e := range res.Epochs {
+		if e.Loss != -float64(i+1) || e.Examples != 2 || e.Skips != int64(i) {
+			t.Fatalf("epoch %d stat = %+v", i, e)
+		}
+	}
+	wantKinds := []EventKind{
+		EventTrainStart,
+		EventEpochStart, EventEpochEnd,
+		EventEpochStart, EventEpochEnd,
+		EventEpochStart, EventEpochEnd,
+		EventTrainEnd,
+	}
+	if len(events) != len(wantKinds) {
+		t.Fatalf("%d events, want %d", len(events), len(wantKinds))
+	}
+	for i, e := range events {
+		if e.Kind != wantKinds[i] || e.Method != "demo" || e.Time.IsZero() {
+			t.Fatalf("event %d = %+v, want kind %s with method and timestamp", i, e, wantKinds[i])
+		}
+	}
+	if events[1].LearningRate != 0.1 {
+		t.Fatalf("epoch 1 lr = %v", events[1].LearningRate)
+	}
+}
+
+// TestRunCancellation verifies both cancellation sites: mid-pass (the pass
+// that was draining is not recorded) and at the epoch boundary.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var last Event
+	res, err := Run(ctx, RunConfig{
+		Method: "demo", Epochs: 5,
+		Telemetry: func(e Event) { last = e },
+	}, func(done <-chan struct{}, epoch int) Totals {
+		if epoch == 2 {
+			cancel() // simulates SIGINT arriving mid-pass
+		}
+		return Totals{Loss: -1, Examples: 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || len(res.Epochs) != 2 {
+		t.Fatalf("result = %+v, want canceled after 2 recorded epochs", res)
+	}
+	if last.Kind != EventTrainEnd || !last.Canceled || last.Epochs != 2 {
+		t.Fatalf("final event = %+v", last)
+	}
+}
+
+// TestRunDivergence verifies the NaN-loss and Probe paths both surface
+// ErrDiverged.
+func TestRunDivergence(t *testing.T) {
+	_, err := Run(context.Background(), RunConfig{Epochs: 2}, func(done <-chan struct{}, epoch int) Totals {
+		return Totals{Loss: math.NaN(), Examples: 1}
+	})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("NaN loss: err = %v", err)
+	}
+	_, err = Run(context.Background(), RunConfig{
+		Epochs: 2,
+		Probe:  func() bool { return true },
+	}, func(done <-chan struct{}, epoch int) Totals {
+		return Totals{Loss: -1, Examples: 1}
+	})
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("probe: err = %v", err)
+	}
+}

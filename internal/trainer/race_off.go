@@ -1,0 +1,9 @@
+//go:build !race
+
+package trainer
+
+// raceEnabled reports whether the Go race detector is compiled in. Hogwild
+// passes rely on benign lock-free races that the detector would (correctly,
+// per the Go memory model) flag, so they degrade to one worker when it is;
+// deterministic passes are race-free and unaffected.
+const raceEnabled = false

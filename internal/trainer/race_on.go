@@ -1,6 +1,6 @@
 //go:build race
 
-package core
+package trainer
 
 // raceEnabled reports whether the Go race detector is compiled in. See
 // race_off.go.
