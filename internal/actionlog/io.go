@@ -2,6 +2,7 @@ package actionlog
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,54 +10,154 @@ import (
 	"strings"
 )
 
+// maxLineBytes bounds a single log line; anything longer is corrupt input,
+// not an action tuple.
+const maxLineBytes = 16 * 1024 * 1024
+
+// PartialTailError reports that the final line of the input was not
+// newline-terminated and does not parse as an action tuple: the writer was
+// caught mid-append. The read is retryable, not fatal — Offset is the byte
+// position at which the truncated line starts, so a caller can re-read from
+// there once the writer has finished the line. ReadTSV returns it alongside
+// the log parsed from the complete prefix.
+type PartialTailError struct {
+	// Offset is the byte offset of the first byte of the truncated line.
+	Offset int64
+	// Line is the truncated text observed after Offset.
+	Line string
+}
+
+func (e *PartialTailError) Error() string {
+	return fmt.Sprintf("actionlog: truncated final line %q at byte %d (writer mid-append; retry from offset)", e.Line, e.Offset)
+}
+
+// lineScanner yields lines from a reader while tracking the exact byte
+// offset consumed, including newlines — the property the streaming tailer's
+// durable resume cursor is built on. bufio.Scanner cannot report offsets, so
+// the loop is hand-rolled over ReadSlice.
+type lineScanner struct {
+	br  *bufio.Reader
+	off int64 // bytes consumed from the underlying reader so far
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	return &lineScanner{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// next returns the next line with its trailing newline (and any preceding
+// '\r') stripped. terminated reports whether the line ended in '\n'; a false
+// value means the reader hit EOF mid-line. The consumed byte count — newline
+// included — is added to s.off. At clean EOF next returns io.EOF.
+func (s *lineScanner) next() (line string, terminated bool, err error) {
+	var buf []byte
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > maxLineBytes {
+			return "", false, fmt.Errorf("line longer than %d bytes", maxLineBytes)
+		}
+		switch {
+		case err == nil:
+			s.off += int64(len(buf))
+			line := strings.TrimSuffix(strings.TrimSuffix(string(buf), "\n"), "\r")
+			return line, true, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			if len(buf) == 0 {
+				return "", false, io.EOF
+			}
+			s.off += int64(len(buf))
+			return string(buf), false, nil
+		default:
+			return "", false, err
+		}
+	}
+}
+
+// parseLine parses one log line. skip reports a blank or '#'-comment line.
+func parseLine(line string, lineNo int) (a Action, skip bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Action{}, true, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Action{}, false, fmt.Errorf("actionlog: line %d: want 3 fields, got %q", lineNo, line)
+	}
+	u, err := strconv.ParseInt(fields[0], 10, 32)
+	if err != nil {
+		return Action{}, false, fmt.Errorf("actionlog: line %d: bad user %q: %w", lineNo, fields[0], err)
+	}
+	if u == math.MaxInt32 {
+		// The inferred universe size u+1 must itself fit in an int32.
+		return Action{}, false, fmt.Errorf("actionlog: line %d: user id %d overflows the universe size", lineNo, u)
+	}
+	it, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return Action{}, false, fmt.Errorf("actionlog: line %d: bad item %q: %w", lineNo, fields[1], err)
+	}
+	ts, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Action{}, false, fmt.Errorf("actionlog: line %d: bad time %q: %w", lineNo, fields[2], err)
+	}
+	return Action{User: int32(u), Item: int32(it), Time: ts}, false, nil
+}
+
 // ReadTSV parses an action log from r: one "user<TAB>item<TAB>time" tuple
 // per line (any whitespace separation accepted), '#'-prefixed lines and
 // blank lines ignored. numUsers fixes the user universe; pass 0 to infer it
 // as maxUser+1.
+//
+// A newline-terminated line that fails to parse is a fatal error: the log is
+// corrupt. A final line without a newline is treated differently, because a
+// concurrent writer may have been caught mid-append: if it parses it is
+// accepted, and if it does not, ReadTSV returns the log built from the
+// complete prefix together with a *PartialTailError carrying the stable
+// offset at which to retry.
 func ReadTSV(r io.Reader, numUsers int32) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc := newLineScanner(r)
 	var actions []Action
 	var maxUser int32 = -1
 	lineNo := 0
-	for sc.Scan() {
+	var partial *PartialTailError
+	for {
+		start := sc.off
+		line, terminated, err := sc.next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("actionlog: reading log: %w", err)
+		}
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		a, skip, perr := parseLine(line, lineNo)
+		if perr != nil {
+			if !terminated {
+				partial = &PartialTailError{Offset: start, Line: line}
+				break
+			}
+			return nil, perr
+		}
+		if skip {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 {
-			return nil, fmt.Errorf("actionlog: line %d: want 3 fields, got %q", lineNo, line)
+		actions = append(actions, a)
+		if a.User > maxUser {
+			maxUser = a.User
 		}
-		u, err := strconv.ParseInt(fields[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("actionlog: line %d: bad user %q: %w", lineNo, fields[0], err)
-		}
-		if u == math.MaxInt32 {
-			// The inferred universe size u+1 must itself fit in an int32.
-			return nil, fmt.Errorf("actionlog: line %d: user id %d overflows the universe size", lineNo, u)
-		}
-		it, err := strconv.ParseInt(fields[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("actionlog: line %d: bad item %q: %w", lineNo, fields[1], err)
-		}
-		ts, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("actionlog: line %d: bad time %q: %w", lineNo, fields[2], err)
-		}
-		actions = append(actions, Action{User: int32(u), Item: int32(it), Time: ts})
-		if int32(u) > maxUser {
-			maxUser = int32(u)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("actionlog: reading log: %w", err)
 	}
 	if numUsers == 0 {
 		numUsers = maxUser + 1
 	}
-	return FromActions(numUsers, actions)
+	l, err := FromActions(numUsers, actions)
+	if err != nil {
+		return nil, err
+	}
+	if partial != nil {
+		return l, partial
+	}
+	return l, nil
 }
 
 // WriteTSV writes the log as "user\titem\ttime" lines grouped by episode in

@@ -1,0 +1,182 @@
+package actionlog
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTSVPartialTailIsRetryable(t *testing.T) {
+	// Two complete lines, then a writer caught mid-append.
+	in := "0\t0\t1\n1\t0\t2\n2\t0\t"
+	l, err := ReadTSV(strings.NewReader(in), 0)
+	var partial *PartialTailError
+	if !errors.As(err, &partial) {
+		t.Fatalf("err = %v, want *PartialTailError", err)
+	}
+	if partial.Offset != 12 || partial.Line != "2\t0\t" {
+		t.Fatalf("partial = %+v, want offset 12 line %q", partial, "2\t0\t")
+	}
+	if l == nil || l.NumActions() != 2 {
+		t.Fatalf("prefix log = %+v, want the 2 complete actions", l)
+	}
+}
+
+func TestReadTSVTerminatedMalformedStaysFatal(t *testing.T) {
+	// A newline-terminated bad line is corruption, not a partial append.
+	l, err := ReadTSV(strings.NewReader("0\t0\t1\n0\t1\nmore\tstuff\t3\n"), 0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var partial *PartialTailError
+	if errors.As(err, &partial) {
+		t.Fatalf("terminated malformed line misreported as partial tail: %v", err)
+	}
+	if l != nil {
+		t.Fatalf("fatal parse error returned a log: %+v", l)
+	}
+}
+
+func TestReadTSVUnterminatedWellFormedTailParses(t *testing.T) {
+	// Whole-file semantics: a final line missing only its newline is data.
+	l, err := ReadTSV(strings.NewReader("0\t0\t1\n1\t0\t2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumActions() != 2 {
+		t.Fatalf("NumActions = %d, want 2", l.NumActions())
+	}
+}
+
+func TestTailConsumesOnlyCompleteLines(t *testing.T) {
+	in := "# header\n0\t0\t1\r\n\n1\t0\t2\n2\t0\t3"
+	actions, next, err := Tail(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 2 {
+		t.Fatalf("actions = %v, want 2", actions)
+	}
+	if actions[0] != (Action{User: 0, Item: 0, Time: 1}) || actions[1] != (Action{User: 1, Item: 0, Time: 2}) {
+		t.Fatalf("actions = %v", actions)
+	}
+	// Everything through the last newline is consumed; the unterminated
+	// "2\t0\t3" is not — the writer may still be appending digits to it.
+	want := int64(len(in) - len("2\t0\t3"))
+	if next != want {
+		t.Fatalf("next = %d, want %d", next, want)
+	}
+}
+
+func TestTailTerminatedMalformedIsFatal(t *testing.T) {
+	actions, next, err := Tail(strings.NewReader("0\t0\t1\nbogus\n"), 0)
+	if err == nil {
+		t.Fatal("expected error for terminated malformed line")
+	}
+	if len(actions) != 1 || next != 6 {
+		t.Fatalf("prefix = %v next %d, want 1 action ending at 6", actions, next)
+	}
+}
+
+func TestTailTSVResumesAcrossAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.tsv")
+	if err := os.WriteFile(path, []byte("0\t0\t1\n1\t0\t"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	actions, next, err := TailTSV(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || next != 6 {
+		t.Fatalf("first tail: %v next %d", actions, next)
+	}
+	// Writer finishes the line and appends another.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("2\n2\t0\t3\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	actions, next, err = TailTSV(path, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 2 {
+		t.Fatalf("second tail: %v", actions)
+	}
+	if actions[0] != (Action{User: 1, Item: 0, Time: 2}) || actions[1] != (Action{User: 2, Item: 0, Time: 3}) {
+		t.Fatalf("second tail parsed %v", actions)
+	}
+	fi, _ := os.Stat(path)
+	if next != fi.Size() {
+		t.Fatalf("next = %d, want file size %d", next, fi.Size())
+	}
+}
+
+func TestTailTSVOffsetBeyondSizeFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.tsv")
+	if err := os.WriteFile(path, []byte("0\t0\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TailTSV(path, 100); err == nil {
+		t.Fatal("expected error for offset beyond file size")
+	}
+	if _, _, err := TailTSV(path, -1); err == nil {
+		t.Fatal("expected error for negative offset")
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.tsv.offset")
+	want := Cursor{Offset: 12345, ModelCRC: 0xdeadbeef}
+	if err := SaveCursor(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCursor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("LoadCursor = %+v, want %+v", got, want)
+	}
+}
+
+func TestCursorMissingFile(t *testing.T) {
+	_, err := LoadCursor(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestCursorCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cursor")
+	if err := SaveCursor(path, Cursor{Offset: 7, ModelCRC: 9}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"bit flip":   append(append([]byte{}, raw[:10]...), append([]byte{raw[10] ^ 0x40}, raw[11:]...)...),
+		"truncated":  raw[:len(raw)-3],
+		"bad magic":  append([]byte("NOTCUR"), raw[6:]...),
+		"bad vers":   append(append([]byte{}, raw[:6]...), append([]byte{99}, raw[7:]...)...),
+		"empty file": {},
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, strings.ReplaceAll(name, " ", "_"))
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCursor(p); !errors.Is(err, ErrBadCursor) {
+			t.Errorf("%s: err = %v, want ErrBadCursor", name, err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package atomicfile implements the repository's one durable-publish
+// primitive: write a temporary file in the destination directory, fsync it,
+// rename it over the target, and fsync the directory so the rename itself
+// survives a machine crash. Every artifact a reader may observe while a
+// writer is replacing it — embedding models, training checkpoints, the
+// streaming pipeline's resume cursors — goes through this path, so a crash
+// at any instant leaves either the complete previous file or the complete
+// new one under the target name, never a torn or empty state.
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteTo atomically replaces path with the bytes produced by write. The
+// sequence is: create a temporary file beside path, run write against it,
+// fsync the file, rename it over path, then fsync the containing directory.
+// Only after every step succeeds is the new content considered published; on
+// any failure the temporary file is removed and the previous content of path
+// is untouched.
+func WriteTo(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The temp file's bytes must be on stable storage before the rename can
+	// publish them: rename-before-data-fsync is exactly the ordering that
+	// produces zero-length files after a power loss.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("atomicfile: fsync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := SyncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Write atomically replaces path with data. See WriteTo.
+func Write(path string, data []byte) error {
+	return WriteTo(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// SyncDir fsyncs a directory so a rename performed in it is durable. A
+// filesystem that does not support directory fsync (EINVAL/ENOTSUP from
+// Sync) is tolerated — there is nothing more a process can do there — but
+// every other failure is reported: silently skipping the sync would let a
+// machine crash un-publish a rename the caller was told had succeeded.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("atomicfile: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return fmt.Errorf("atomicfile: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package atomicfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := Write(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "one" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := Write(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "two" {
+		t.Fatalf("content after replace = %q", got)
+	}
+}
+
+func TestWriteToFailureKeepsOldContentAndNoLitter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := Write(path, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteTo(path, func(w io.Writer) error {
+		// Write some bytes first: a torn write must still not publish.
+		fmt.Fprint(w, "part")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "stable" {
+		t.Fatalf("failed write replaced target: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteIntoMissingDirFails(t *testing.T) {
+	if err := Write(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

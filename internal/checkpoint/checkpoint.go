@@ -33,8 +33,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"inf2vec/internal/atomicfile"
 	"inf2vec/internal/embed"
 )
 
@@ -166,38 +166,15 @@ func Save(w io.Writer, st *State) error {
 	return nil
 }
 
-// SaveFile atomically writes the state to path: the bytes land in a
-// temporary file in the same directory, are fsynced, and the file is
-// renamed over path. Readers therefore observe either the previous
-// checkpoint or the complete new one, never a torn write.
+// SaveFile atomically and durably writes the state to path: the bytes land
+// in a temporary file in the same directory, are fsynced, the file is
+// renamed over path, and the directory is fsynced. Readers therefore observe
+// either the previous checkpoint or the complete new one, never a torn
+// write, even across a machine crash.
 func SaveFile(path string, st *State) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("checkpoint: save: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := Save(tmp, st); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("checkpoint: save: fsync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: save: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("checkpoint: save: %w", err)
-	}
-	// Persist the rename itself; best effort — some filesystems refuse
-	// directory fsync.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	// Save's own errors already carry the "checkpoint: save" context;
+	// atomicfile annotates the temp/rename/sync steps.
+	return atomicfile.WriteTo(path, func(w io.Writer) error { return Save(w, st) })
 }
 
 // Load reads a checkpoint written by Save, verifying the CRC trailer before

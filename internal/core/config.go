@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+
+	"inf2vec/internal/embed"
 )
 
 // Config collects Inf2vec's hyperparameters. Zero values select the paper's
@@ -104,6 +106,27 @@ type Config struct {
 	// re-initializes when none exists), halves the learning rate, and
 	// retries. Zero selects the default of 3; negative disables detection.
 	MaxDivergenceRetries int
+
+	// CorpusTag distinguishes otherwise-identical configurations trained on
+	// different snapshots of a growing action log. The streaming pipeline
+	// sets it to the log byte offset of each retraining round so a
+	// checkpoint written mid-round can never be resumed against a different
+	// round's corpus. Zero (the default) leaves the configuration
+	// fingerprint — and therefore every existing checkpoint — unchanged.
+	CorpusTag uint64
+	// WarmStart, when non-nil, overwrites the first WarmStart.NumUsers()
+	// rows of the freshly initialized store with the given parameters before
+	// the first SGD pass (and again after a divergence re-initialization).
+	// Rows beyond the warm model — users first seen in this round's data —
+	// keep their random initialization, drawn exactly as in a cold run. The
+	// warm content is folded into the configuration fingerprint, so a
+	// checkpoint resumes only against the same starting point.
+	WarmStart *embed.Store `json:"-"`
+	// CorpusCache, when non-nil, reuses cached per-episode tuples across
+	// GenerateCorpus calls for episodes whose actions are unchanged; see
+	// CorpusCache. Pure memoization: the generated corpus is bitwise
+	// identical with or without it, so it is excluded from the fingerprint.
+	CorpusCache *CorpusCache `json:"-"`
 }
 
 // ErrBadConfig is returned when a configuration field is out of range.
@@ -195,6 +218,15 @@ func (cfg Config) hash() uint64 {
 		cfg.Iterations, cfg.NegativePower, cfg.DisableBiases,
 		cfg.RegenerateContexts, cfg.FirstOrderOnly, cfg.Workers, cfg.Seed,
 		corpusStreamVersion)
+	// Streaming-round identity is appended only when set, so the hash of
+	// every pre-existing configuration — and every checkpoint written under
+	// one — is byte-identical to what it was before these fields existed.
+	if cfg.CorpusTag != 0 {
+		canonical += fmt.Sprintf(" tag=%d", cfg.CorpusTag)
+	}
+	if cfg.WarmStart != nil {
+		canonical += fmt.Sprintf(" warm=%08x", cfg.WarmStart.Checksum())
+	}
 	h := fnv.New64a()
 	h.Write([]byte(canonical))
 	return h.Sum64()

@@ -171,12 +171,34 @@ func GenerateCorpus(g *graph.Graph, log *actionlog.Log, cfg Config, r *rng.RNG) 
 	workers := corpusGenWorkers(cfg, numEp)
 	start := time.Now()
 
+	// With a cache attached, unchanged episodes reuse their previous tuples.
+	// An episode's generator is derived purely from (base, index), so a hit
+	// is bitwise identical to regenerating; fingerprints are recomputed for
+	// every episode and the cache is repopulated wholesale below. Workers
+	// only read the cache (the entries map is never written during the
+	// parallel phase) and each writes disjoint slots of fps/hit.
+	cache := cfg.CorpusCache
+	cfgKey := corpusCfgKey(cfg)
+	useCache := cache != nil && cache.valid(g, base, cfgKey)
+	fps := make([]uint64, numEp)
+	hit := make([]bool, numEp)
+
 	// perEpisode[i] holds episode i's tuples; every slot is written by
 	// exactly one worker, and the episode-order merge below keeps the slab
 	// layout identical to the old sequential construction.
 	perEpisode := make([][]Tuple, numEp)
 	generate := func(i int, sc *corpusScratch) {
-		pn := diffusion.BuildPropNet(g, log.Episode(i))
+		ep := log.Episode(i)
+		if cache != nil {
+			fps[i] = episodeFingerprint(ep)
+			if useCache {
+				if tuples, ok := cache.lookup(i, ep.Item, fps[i]); ok {
+					perEpisode[i], hit[i] = tuples, true
+					return
+				}
+			}
+		}
+		pn := diffusion.BuildPropNet(g, ep)
 		if cfg.FirstOrderOnly {
 			perEpisode[i] = episodePairTuples(pn, nil)
 		} else {
@@ -232,6 +254,19 @@ func GenerateCorpus(g *graph.Graph, log *actionlog.Log, cfg Config, r *rng.RNG) 
 			}
 			ticker.Stop()
 		}
+	}
+
+	if cache != nil {
+		entries := make(map[int]cacheEntry, numEp)
+		hits := 0
+		for i, eps := range perEpisode {
+			entries[i] = cacheEntry{item: log.Episode(i).Item, fp: fps[i], tuples: eps}
+			if hit[i] {
+				hits++
+			}
+		}
+		cache.graph, cache.base, cache.cfgKey, cache.entries = g, base, cfgKey, entries
+		cache.lastHits, cache.lastMisses = hits, numEp-hits
 	}
 
 	c := &Corpus{ContextFreq: make([]int64, log.NumUsers())}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/graph"
+)
+
+// CorpusCache memoizes per-episode influence-context tuples across
+// GenerateCorpus calls over a growing action log. Episodes draw from RNG
+// streams keyed on (base draw, episode index) — a pure derivation — so an
+// episode whose index, item and actions are unchanged since the previous
+// call generates exactly the same tuples; the cache returns the stored
+// slice instead of re-walking the propagation network. The result is
+// bitwise identical to regenerating everything from scratch: caching is
+// invisible to training, checkpoints and golden tests.
+//
+// Entries are validated per use against the base draw, the
+// corpus-shaping configuration fields, the graph identity, and a
+// fingerprint of the episode's item and records; any mismatch regenerates
+// that episode (or, for base/config/graph changes, the whole corpus). The
+// cache is repopulated wholesale after every call.
+//
+// A CorpusCache must not be shared by concurrent GenerateCorpus calls; the
+// streaming pipeline owns one per daemon and runs rounds sequentially.
+type CorpusCache struct {
+	graph   *graph.Graph
+	base    uint64
+	cfgKey  string
+	entries map[int]cacheEntry
+
+	lastHits, lastMisses int
+}
+
+type cacheEntry struct {
+	item   int32
+	fp     uint64
+	tuples []Tuple
+}
+
+// NewCorpusCache returns an empty cache; the first GenerateCorpus call
+// through it misses on every episode and populates it.
+func NewCorpusCache() *CorpusCache { return &CorpusCache{} }
+
+// Stats reports the hit/miss split of the most recent GenerateCorpus call
+// that used this cache.
+func (c *CorpusCache) Stats() (hits, misses int) { return c.lastHits, c.lastMisses }
+
+// valid reports whether the cached entries were generated under the same
+// corpus-shaping inputs as the current call.
+func (c *CorpusCache) valid(g *graph.Graph, base uint64, cfgKey string) bool {
+	return c.entries != nil && c.graph == g && c.base == base && c.cfgKey == cfgKey
+}
+
+// lookup returns the cached tuples for episode i if they were generated
+// from an identical episode.
+func (c *CorpusCache) lookup(i int, item int32, fp uint64) ([]Tuple, bool) {
+	e, ok := c.entries[i]
+	if !ok || e.item != item || e.fp != fp {
+		return nil, false
+	}
+	return e.tuples, true
+}
+
+// corpusCfgKey fingerprints exactly the configuration fields that shape an
+// episode's tuples. Deliberately narrower than Config.hash(): the streaming
+// pipeline varies CorpusTag and WarmStart every round, and neither changes
+// the corpus.
+func corpusCfgKey(cfg Config) string {
+	return fmt.Sprintf("len=%d alpha=%g restart=%g firstorder=%t stream=%d",
+		cfg.ContextLength, cfg.Alpha, cfg.RestartRatio, cfg.FirstOrderOnly,
+		corpusStreamVersion)
+}
+
+// episodeFingerprint hashes an episode's item and full record list (FNV-1a).
+// Any appended, reordered or re-timed action changes the fingerprint, which
+// is what invalidates that episode's cache entry.
+func episodeFingerprint(e *actionlog.Episode) uint64 {
+	h := fnv.New64a()
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(e.Item))
+	h.Write(buf[:4])
+	for _, rec := range e.Records {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(rec.User))
+		binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(rec.Time))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

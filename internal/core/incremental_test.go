@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"inf2vec/internal/actionlog"
+	"inf2vec/internal/embed"
+	"inf2vec/internal/graph"
+	"inf2vec/internal/rng"
+)
+
+// growingLog builds snapshot step of a log that grows the way a tailed
+// action stream does: new episodes appear and one existing episode gains a
+// late adopter.
+func growingLog(t *testing.T, n int32, step int) *actionlog.Log {
+	t.Helper()
+	items := int32(10 + 5*step)
+	var actions []actionlog.Action
+	for it := int32(0); it < items; it++ {
+		base := (it * 3) % (n - 5)
+		for off := int32(0); off < 5; off++ {
+			actions = append(actions, actionlog.Action{User: base + off, Item: it, Time: float64(off)})
+		}
+	}
+	if step >= 1 {
+		// A late adopter joins episode 2: its fingerprint must change and
+		// its cache entry must be regenerated, not reused.
+		actions = append(actions, actionlog.Action{User: 20, Item: 2, Time: 9})
+	}
+	l, err := actionlog.FromActions(n, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func corporaEqual(t *testing.T, label string, a, b *Corpus) {
+	t.Helper()
+	if len(a.Tuples) != len(b.Tuples) || a.NumPositives != b.NumPositives {
+		t.Fatalf("%s: shape %d/%d vs %d/%d", label, len(a.Tuples), a.NumPositives, len(b.Tuples), b.NumPositives)
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].Center != b.Tuples[i].Center {
+			t.Fatalf("%s: tuple %d center %d vs %d", label, i, a.Tuples[i].Center, b.Tuples[i].Center)
+		}
+		ca, cb := a.Tuples[i].Context, b.Tuples[i].Context
+		if len(ca) != len(cb) {
+			t.Fatalf("%s: tuple %d context length %d vs %d", label, i, len(ca), len(cb))
+		}
+		for j := range ca {
+			if ca[j] != cb[j] {
+				t.Fatalf("%s: tuple %d context %d: %d vs %d", label, i, j, ca[j], cb[j])
+			}
+		}
+	}
+	for u := range a.ContextFreq {
+		if a.ContextFreq[u] != b.ContextFreq[u] {
+			t.Fatalf("%s: freq[%d] %d vs %d", label, u, a.ContextFreq[u], b.ContextFreq[u])
+		}
+	}
+}
+
+// TestIncrementalCorpusMatchesScratch is the incremental-regeneration
+// guarantee: over a growing log, corpus generation through a CorpusCache is
+// bitwise identical to generating from scratch, at any worker count, while
+// actually reusing unchanged episodes.
+func TestIncrementalCorpusMatchesScratch(t *testing.T) {
+	const n = 30
+	var edges [][2]int32
+	for u := int32(0); u < n-1; u++ {
+		edges = append(edges, [2]int32{u, u + 1})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg, err := Config{ContextLength: 12, Workers: 1, CorpusWorkers: workers, Seed: 42}.withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached := cfg
+			cached.CorpusCache = NewCorpusCache()
+			for step := 0; step < 3; step++ {
+				l := growingLog(t, n, step)
+				// Fresh root RNGs so both paths draw the same base.
+				want := GenerateCorpus(g, l, cfg, rng.New(cfg.Seed).Split())
+				got := GenerateCorpus(g, l, cached, rng.New(cfg.Seed).Split())
+				corporaEqual(t, fmt.Sprintf("step %d", step), want, got)
+				hits, misses := cached.CorpusCache.Stats()
+				if step == 0 && hits != 0 {
+					t.Fatalf("step 0: %d hits from an empty cache", hits)
+				}
+				if step > 0 {
+					if hits == 0 {
+						t.Fatalf("step %d: cache produced no hits", step)
+					}
+					// Only the new episodes and the extended episode 2 may
+					// miss (the append can also shift merge order, so allow
+					// a little slack but not a full regeneration).
+					if misses >= l.NumEpisodes()/2 {
+						t.Fatalf("step %d: %d misses out of %d episodes", step, misses, l.NumEpisodes())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusCacheInvalidatedByConfigAndGraph checks the cache never serves
+// tuples generated under different corpus-shaping inputs.
+func TestCorpusCacheInvalidatedByConfigAndGraph(t *testing.T) {
+	const n = 10
+	g, err := graph.FromEdges(n, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := growingLog(t, n, 0)
+	cfg, err := Config{ContextLength: 8, Workers: 1, CorpusWorkers: 1, Seed: 1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CorpusCache = NewCorpusCache()
+	GenerateCorpus(g, l, cfg, rng.New(cfg.Seed).Split())
+
+	alt := cfg
+	alt.ContextLength = 4
+	want := GenerateCorpus(g, l, Config{ContextLength: 4, Workers: 1, CorpusWorkers: 1, Seed: 1}, rng.New(cfg.Seed).Split())
+	got := GenerateCorpus(g, l, alt, rng.New(cfg.Seed).Split())
+	corporaEqual(t, "after config change", want, got)
+	if hits, _ := cfg.CorpusCache.Stats(); hits != 0 {
+		t.Fatalf("config change: %d cache hits across incompatible configs", hits)
+	}
+
+	g2, err := graph.FromEdges(n, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	GenerateCorpus(g2, l, alt, rng.New(cfg.Seed).Split())
+	if hits, _ := cfg.CorpusCache.Stats(); hits != 0 {
+		t.Fatalf("graph change: %d cache hits across graphs", hits)
+	}
+}
+
+// TestWarmStartSeedsKnownRows trains on an influence-free log (the store is
+// returned exactly as initialized) and checks warm start semantics: known
+// rows carry the warm parameters, new rows keep the same random draw a cold
+// run produces.
+func TestWarmStartSeedsKnownRows(t *testing.T) {
+	warm, err := embed.New(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Init(rng.New(99).Split())
+	g, err := graph.FromEdges(5, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Dim: 8, Workers: 1, CorpusWorkers: 1, Seed: 7}
+	cold, err := Train(g, l, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.WarmStart = warm
+	res, err := Train(g, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := res.Model.Store
+	for u := int32(0); u < 5; u++ {
+		wantSrc := cold.Model.Store.SourceVec(u)
+		if u < 3 {
+			wantSrc = warm.SourceVec(u)
+		}
+		got := store.SourceVec(u)
+		for i := range got {
+			if got[i] != wantSrc[i] {
+				t.Fatalf("row %d coord %d: %v, want %v", u, i, got[i], wantSrc[i])
+			}
+		}
+	}
+}
+
+func TestWarmStartShapeMismatchRejected(t *testing.T) {
+	g, err := graph.FromEdges(3, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := actionlog.FromActions(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badDim, _ := embed.New(2, 4)
+	if _, err := Train(g, l, Config{Dim: 8, Workers: 1, CorpusWorkers: 1, WarmStart: badDim}); err == nil || !strings.Contains(err.Error(), "warm start") {
+		t.Fatalf("dim mismatch: err = %v", err)
+	}
+	tooBig, _ := embed.New(9, 8)
+	if _, err := Train(g, l, Config{Dim: 8, Workers: 1, CorpusWorkers: 1, WarmStart: tooBig}); err == nil || !strings.Contains(err.Error(), "warm start") {
+		t.Fatalf("oversized warm store: err = %v", err)
+	}
+}
+
+// TestHashDistinguishesRounds pins the fingerprint extension: legacy
+// configurations hash exactly as before, while CorpusTag and WarmStart each
+// move the hash (so a checkpoint can never resume across rounds or starting
+// points).
+func TestHashDistinguishesRounds(t *testing.T) {
+	base := Config{Dim: 8, Workers: 1, Seed: 7}
+	h0 := base.hash()
+
+	tagged := base
+	tagged.CorpusTag = 640
+	if tagged.hash() == h0 {
+		t.Fatal("CorpusTag did not change the config hash")
+	}
+	w1, _ := embed.New(3, 8)
+	w1.Init(rng.New(1).Split())
+	w2, _ := embed.New(3, 8)
+	w2.Init(rng.New(2).Split())
+	warm1, warm2 := base, base
+	warm1.WarmStart, warm2.WarmStart = w1, w2
+	if warm1.hash() == h0 {
+		t.Fatal("WarmStart did not change the config hash")
+	}
+	if warm1.hash() == warm2.hash() {
+		t.Fatal("different warm contents hash identically")
+	}
+	same := base
+	same.WarmStart, _ = embed.New(3, 8)
+	same.WarmStart.Init(rng.New(1).Split())
+	if same.hash() != warm1.hash() {
+		t.Fatal("identical warm contents hash differently")
+	}
+}

@@ -180,6 +180,14 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 		return nil, err
 	}
 	store.Init(root.Split())
+	// Warm start overwrites the known-user rows after the full random init:
+	// the root RNG advances identically with or without it, so new-user rows
+	// (and every later draw) match a cold run bit for bit.
+	if cfg.WarmStart != nil {
+		if err := store.CopyPrefix(cfg.WarmStart); err != nil {
+			return nil, fmt.Errorf("core: warm start: %w", err)
+		}
+	}
 
 	neg, err := rng.NewUnigramTable(corpus.ContextFreq, cfg.NegativePower)
 	if err != nil {
@@ -373,8 +381,13 @@ func trainOnCorpus(ctx context.Context, numUsers int32, corpus *Corpus, cfg Conf
 				rollback(snap)
 			} else {
 				// No checkpoint to return to: re-initialize and restart the
-				// epoch count at the reduced step size.
+				// epoch count at the reduced step size. The warm start is
+				// part of the starting point, so it is reapplied (shape
+				// already validated at the initial copy).
 				store.Init(root.Split())
+				if cfg.WarmStart != nil {
+					store.CopyPrefix(cfg.WarmStart)
+				}
 				epoch = 0
 				res.Epochs = res.Epochs[:0]
 			}

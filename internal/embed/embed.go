@@ -25,8 +25,8 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
+	"inf2vec/internal/atomicfile"
 	"inf2vec/internal/rng"
 	"inf2vec/internal/vecmath"
 )
@@ -148,6 +148,39 @@ func (s *Store) Clone() *Store {
 	}
 }
 
+// CopyPrefix overwrites the parameters of the first src.NumUsers() users of
+// s with src's values, leaving any remaining rows untouched. The dimensions
+// must match and src's universe must not exceed s's. It is the warm-start
+// primitive of the streaming pipeline: a model over a fixed universe seeds
+// the next incremental retrain, while rows the previous model never saw keep
+// their fresh random initialization.
+func (s *Store) CopyPrefix(src *Store) error {
+	if src.k != s.k || src.n > s.n {
+		return fmt.Errorf("embed: prefix copy shape mismatch: %dx%d into %dx%d", src.n, src.k, s.n, s.k)
+	}
+	rows := int(src.n) * s.k
+	copy(s.source[:rows], src.source)
+	copy(s.target[:rows], src.target)
+	copy(s.biasS[:src.n], src.biasS)
+	copy(s.biasT[:src.n], src.biasT)
+	return nil
+}
+
+// Checksum returns the CRC-32 (IEEE) of the store's serialized body — the
+// exact value Save records in the file's CRC trailer. (Checksumming the
+// whole file including the trailer would be useless as a fingerprint: the
+// CRC of a message concatenated with its own CRC is the constant residue
+// 0x2144df1c for every store.) It is a cheap content fingerprint: the
+// pipeline records it beside its resume offset so a restart can tell
+// whether the model on disk is the one the offset was committed for, and
+// the trainer folds it into the checkpoint fingerprint when a run is
+// warm-started from an existing store.
+func (s *Store) Checksum() uint32 {
+	// Writing into io.Discard cannot fail.
+	sum, _ := s.saveBody(io.Discard)
+	return sum
+}
+
 // CopyFrom overwrites every parameter of s with the values from src. The two
 // stores must have identical shape.
 func (s *Store) CopyFrom(src *Store) error {
@@ -193,62 +226,50 @@ func (s *Store) SaveSize() int64 {
 	return 8 + 8 + 4*(2*int64(s.n)*int64(s.k)+2*int64(s.n)) + 4 // + CRC trailer
 }
 
-// Save writes the store to w in the package binary format, including the
-// CRC-32 trailer.
-func (s *Store) Save(w io.Writer) error {
+// saveBody writes everything up to (not including) the CRC trailer and
+// returns the body's CRC-32.
+func (s *Store) saveBody(w io.Writer) (uint32, error) {
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
 	hdr := [8]byte{storeMagic[0], storeMagic[1], storeMagic[2], storeMagic[3], storeMagic[4], storeMagic[5], storeVersion, 0}
 	if _, err := mw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("embed: save: %w", err)
+		return 0, fmt.Errorf("embed: save: %w", err)
 	}
 	shape := [2]int32{s.n, int32(s.k)}
 	if err := binary.Write(mw, binary.LittleEndian, shape[:]); err != nil {
-		return fmt.Errorf("embed: save: %w", err)
+		return 0, fmt.Errorf("embed: save: %w", err)
 	}
 	for _, block := range [][]float32{s.source, s.target, s.biasS, s.biasT} {
 		if err := binary.Write(mw, binary.LittleEndian, block); err != nil {
-			return fmt.Errorf("embed: save: %w", err)
+			return 0, fmt.Errorf("embed: save: %w", err)
 		}
 	}
-	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+	return crc.Sum32(), nil
+}
+
+// Save writes the store to w in the package binary format, including the
+// CRC-32 trailer.
+func (s *Store) Save(w io.Writer) error {
+	sum, err := s.saveBody(w)
+	if err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, sum); err != nil {
 		return fmt.Errorf("embed: save: %w", err)
 	}
 	return nil
 }
 
-// SaveFile atomically writes the store to path: the bytes land in a
-// temporary file in the destination directory, are fsynced, and the file is
-// renamed over path. A process hot-reloading the path therefore observes
-// either the previous model or the complete new one, never a torn write.
+// SaveFile atomically and durably writes the store to path: the bytes land
+// in a temporary file in the destination directory, are fsynced, the file is
+// renamed over path, and the directory is fsynced so the rename survives a
+// machine crash. A process hot-reloading the path therefore observes either
+// the previous model or the complete new one, never a torn, empty or
+// un-published write.
 func (s *Store) SaveFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("embed: save: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := s.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("embed: save: fsync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("embed: save: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("embed: save: %w", err)
-	}
-	// Persist the rename itself; best effort — some filesystems refuse
-	// directory fsync.
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+	// Save's own errors already carry the "embed: save" context; atomicfile
+	// annotates the temp/rename/sync steps with the paths involved.
+	return atomicfile.WriteTo(path, s.Save)
 }
 
 // Load reads a store written by Save, consuming r exactly: any bytes after

@@ -2,6 +2,7 @@ package embed
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math"
 	"os"
@@ -356,5 +357,70 @@ func TestCloneAndCopyFrom(t *testing.T) {
 	}
 	if err := s.CopyFrom(other); err == nil {
 		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCopyPrefix(t *testing.T) {
+	src, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Init(rng.New(1))
+	dst, err := New(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Init(rng.New(2))
+	keep := dst.Clone()
+	if err := dst.CopyPrefix(src); err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 5; u++ {
+		want := keep
+		if u < 3 {
+			want = src
+		}
+		for i, v := range dst.SourceVec(u) {
+			if v != want.SourceVec(u)[i] {
+				t.Fatalf("source row %d coord %d: %v, want %v", u, i, v, want.SourceVec(u)[i])
+			}
+		}
+		if *dst.BiasSource(u) != *want.BiasSource(u) {
+			t.Fatalf("bias row %d: %v, want %v", u, *dst.BiasSource(u), *want.BiasSource(u))
+		}
+	}
+	wrongDim, _ := New(3, 5)
+	if err := dst.CopyPrefix(wrongDim); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	tooBig, _ := New(6, 4)
+	if err := dst.CopyPrefix(tooBig); err == nil {
+		t.Fatal("oversized source accepted")
+	}
+}
+
+// TestChecksumIsContentFingerprint pins the Checksum definition: it must
+// vary with content (a whole-file CRC would collapse to the CRC residue
+// constant 0x2144df1c for every store) and must equal the CRC trailer that
+// Save writes.
+func TestChecksumIsContentFingerprint(t *testing.T) {
+	a, _ := New(3, 8)
+	a.Init(rng.New(1))
+	b, _ := New(3, 8)
+	b.Init(rng.New(2))
+	if a.Checksum() == b.Checksum() {
+		t.Fatalf("different stores share checksum %08x", a.Checksum())
+	}
+	if a.Checksum() == 0x2144df1c {
+		t.Fatal("checksum equals the CRC-32 residue: trailer included in hash")
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	trailer := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if a.Checksum() != trailer {
+		t.Fatalf("Checksum %08x != file trailer %08x", a.Checksum(), trailer)
 	}
 }

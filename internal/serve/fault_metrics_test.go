@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestFaultCorruptReloadMetricsVisible drives the corrupt-publish failure
+// mode end to end on /metrics: a reload of a torn model file must keep the
+// old model serving, increment the dedicated failure counter, and leave the
+// last-success timestamp untouched; a subsequent good publish must recover
+// and advance the timestamp without disturbing the failure count.
+func TestFaultCorruptReloadMetricsVisible(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	readMetrics := func() (failures string, lastSuccess float64) {
+		t.Helper()
+		_, body := getText(t, ts.Client(), ts.URL+"/metrics")
+		failures = metricValue(t, body, "inf2vec_model_reload_failures_total")
+		raw := metricValue(t, body, "inf2vec_model_reload_last_success_timestamp_seconds")
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			t.Fatalf("last-success gauge %q: %v", raw, err)
+		}
+		return failures, v
+	}
+
+	failures, firstLoad := readMetrics()
+	if failures != "0" {
+		t.Fatalf("fresh server reload failures = %q, want 0", failures)
+	}
+	if firstLoad <= 0 {
+		t.Fatalf("initial load did not set the last-success timestamp: %v", firstLoad)
+	}
+
+	// Tear the model file in place (not atomically — that is the point).
+	if err := os.WriteFile(s.cfg.ModelPath, []byte("I2VEMB garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a corrupt model succeeded")
+	}
+	failures, afterFail := readMetrics()
+	if failures != "1" {
+		t.Fatalf("reload failures = %q, want 1", failures)
+	}
+	if afterFail != firstLoad {
+		t.Fatalf("failed reload moved last-success: %v -> %v", firstLoad, afterFail)
+	}
+	// The previous model must still answer.
+	var out struct {
+		Score float64 `json:"score"`
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/score?source=1&target=2", &out); code != 200 {
+		t.Fatalf("score after failed reload = %d", code)
+	}
+
+	// A good publish recovers.
+	writeModel(t, t.TempDir(), testStore(t, 8)) // fresh file elsewhere, then atomic publish over the served path
+	if err := testStore(t, 8).SaveFile(s.cfg.ModelPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	failures, afterOK := readMetrics()
+	if failures != "1" {
+		t.Fatalf("successful reload changed failure count: %q", failures)
+	}
+	if afterOK < firstLoad {
+		t.Fatalf("successful reload did not refresh last-success: %v < %v", afterOK, firstLoad)
+	}
+}

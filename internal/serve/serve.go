@@ -138,6 +138,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.model.Store(m)
 	s.met.setModelInfo(m)
+	s.met.reloadLastSuccess.Set(float64(time.Now().Unix()))
 	s.log.Info("model loaded",
 		"version", obs.Version(),
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
@@ -159,11 +160,13 @@ func (s *Server) Reload() error {
 	m, err := loadModel(s.cfg.ModelPath)
 	if err != nil {
 		s.met.reloads.With("error").Inc()
+		s.met.reloadFailures.Inc()
 		s.log.Error("model reload failed; keeping current model", "path", s.cfg.ModelPath, "err", err)
 		return err
 	}
 	s.model.Store(m)
 	s.met.reloads.With("ok").Inc()
+	s.met.reloadLastSuccess.Set(float64(time.Now().Unix()))
 	s.met.setModelInfo(m)
 	s.log.Info("model reloaded",
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),

@@ -26,8 +26,15 @@ type serverMetrics struct {
 	panics   *obs.Counter // inf2vec_http_handler_panics_total
 	timeouts *obs.Counter // inf2vec_http_request_timeouts_total
 
-	reloads   *obs.CounterVec // inf2vec_model_reloads_total{result}
-	modelInfo *obs.GaugeVec   // inf2vec_model_info{path,crc32}
+	reloads *obs.CounterVec // inf2vec_model_reloads_total{result}
+	// reloadFailures duplicates reloads{result="error"} as a dedicated
+	// family so a corrupt publish (old model retained) can be alerted on
+	// without label arithmetic; reloadLastSuccess records when the serving
+	// model last changed (including the initial load), the companion signal
+	// for staleness alerts.
+	reloadFailures    *obs.Counter  // inf2vec_model_reload_failures_total
+	reloadLastSuccess *obs.Gauge    // inf2vec_model_reload_last_success_timestamp_seconds
+	modelInfo         *obs.GaugeVec // inf2vec_model_info{path,crc32}
 }
 
 // newServerMetrics builds the registry and registers every family, plus the
@@ -51,12 +58,16 @@ func newServerMetrics(start time.Time) *serverMetrics {
 			"Requests that exceeded their deadline and returned 504.").With(),
 		reloads: reg.Counter("inf2vec_model_reloads_total",
 			"Hot model reloads by result (ok or error).", "result"),
+		reloadFailures: reg.Counter("inf2vec_model_reload_failures_total",
+			"Model reloads rejected (unreadable, corrupt or torn file); the previous model kept serving.").With(),
 		modelInfo: reg.Gauge("inf2vec_model_info",
 			"Currently serving model; always 1, with the file path and CRC-32 as labels.",
 			"path", "crc32"),
 	}
 	m.inFlight = reg.Gauge("inf2vec_http_inflight_requests",
 		"API requests currently admitted past the concurrency limiter.").With()
+	m.reloadLastSuccess = reg.Gauge("inf2vec_model_reload_last_success_timestamp_seconds",
+		"Unix time the serving model was last (re)loaded successfully; the initial load counts.").With()
 	reg.GaugeFunc("inf2vec_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(start).Seconds() })
 	obs.RegisterBuildInfo(reg, "inf2vec")
