@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment list: table1..table6, fig1..fig3, fig6..fig9, or all")
+	run := flag.String("run", "all", "comma-separated experiment list: table1..table6, fig1..fig3, fig6..fig9, seeds, or all")
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	seed := flag.Uint64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "training workers for Inf2vec and every baseline (0 = min(NumCPU, 8); any value yields the same models)")
@@ -68,6 +68,7 @@ var knownExperiments = map[string]bool{
 	"table1": true, "table2": true, "table3": true, "table4": true,
 	"table5": true, "table6": true, "fig1": true, "fig2": true,
 	"fig3": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
+	"seeds": true,
 }
 
 func runAll(ctx context.Context, list string, quick bool, seed uint64, workers, corpusWorkers int, svgDir, telemetryOut string) error {
@@ -75,7 +76,7 @@ func runAll(ctx context.Context, list string, quick bool, seed uint64, workers, 
 	for _, name := range strings.Split(list, ",") {
 		name = strings.TrimSpace(name)
 		if name != "all" && !knownExperiments[name] {
-			return fmt.Errorf("unknown experiment %q (want table1..table6, fig1..fig3, fig6..fig9, or all)", name)
+			return fmt.Errorf("unknown experiment %q (want table1..table6, fig1..fig3, fig6..fig9, seeds, or all)", name)
 		}
 		want[name] = true
 	}
@@ -225,6 +226,15 @@ func runAll(ctx context.Context, list string, quick bool, seed uint64, workers, 
 			return err
 		}
 		if err := experiments.RenderTiming(out, figs); err != nil {
+			return err
+		}
+	}
+	if pick("seeds") {
+		rows, err := s.SeedsAnytime()
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderSeedsAnytime(out, rows); err != nil {
 			return err
 		}
 	}

@@ -5,13 +5,22 @@
 //
 //	serve -model model.i2v [-addr :8080] [-timeout 2s] [-max-timeout 30s]
 //	      [-max-inflight 256] [-drain-timeout 10s]
+//	      [-graph graph.edges] [-seeds-max-inflight 2] [-seeds-cache 128]
+//	      [-seeds-offset -2]
 //
 // Endpoints:
 //
 //	GET  /v1/score?source=U&target=V                 pair influence score x(u,v)
 //	POST /v1/activation  {"active":[..],"candidate":V,"agg":"ave"}
 //	GET  /v1/topk?source=U&k=10&agg=max              top-k most-influenced users
+//	POST /v1/seeds  {"k":K,"budget":B,...}           anytime CELF seed selection
+//	                                                 (requires -graph)
 //	GET  /healthz   GET /readyz   GET /debug/statz   GET /metrics
+//
+// Seed selection is the server's most expensive workload, so it runs behind
+// its own small concurrency limit (-seeds-max-inflight) with singleflight
+// collapsing and an LRU result cache; under a deadline or evaluation budget
+// it degrades to a best-so-far partial answer instead of failing.
 //
 // -debug-addr starts a second listener with net/http/pprof profiles and a
 // /metrics mirror, kept off the public address. -version prints build info.
@@ -51,6 +60,10 @@ func run(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap for the per-request ?timeout_ms= override")
 	maxInFlight := fs.Int("max-inflight", 256, "concurrent API requests before load shedding (429)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+	graphPath := fs.String("graph", "", "diffusion graph edge list; enables POST /v1/seeds")
+	seedsMaxInFlight := fs.Int("seeds-max-inflight", 2, "concurrent seed selections before shedding (429)")
+	seedsCache := fs.Int("seeds-cache", 128, "LRU capacity for finished seed selections")
+	seedsOffset := fs.Float64("seeds-offset", -2, "logistic-link offset mapping model scores to IC edge probabilities")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this second address (e.g. localhost:6060)")
 	logFormat := fs.String("log-format", "json", "log format: text or json")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -77,6 +90,11 @@ func run(args []string) error {
 		MaxInFlight:    *maxInFlight,
 		DrainTimeout:   *drainTimeout,
 		Logger:         logger,
+
+		GraphPath:        *graphPath,
+		SeedsMaxInFlight: *seedsMaxInFlight,
+		SeedsCacheSize:   *seedsCache,
+		SeedsOffset:      *seedsOffset,
 	})
 	if err != nil {
 		return err

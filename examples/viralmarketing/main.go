@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -56,7 +57,7 @@ func main() {
 		Offset: -4, // conservative link: only strong learned ties propagate
 	}
 	shortlist := topByInfluenceReach(model, ds.Graph, candidatePool)
-	res, err := infmax.Greedy(ds.Graph, learned, infmax.Config{
+	res, err := infmax.Greedy(context.Background(), ds.Graph, learned, infmax.Config{
 		Seeds:          numSeeds,
 		MonteCarloRuns: 100,
 		Seed:           7,
@@ -73,11 +74,11 @@ func main() {
 	// Judge both against the hidden ground truth: Monte-Carlo IC simulation
 	// with the planted edge probabilities the learners never saw.
 	r := rng.New(99)
-	embSpread, err := ic.ExpectedSpread(ds.Graph, ds.TrueProbs, res.Seeds, mcRuns, r)
+	embSpread, err := ic.ExpectedSpread(context.Background(), ds.Graph, ds.TrueProbs, res.Seeds, mcRuns, r)
 	if err != nil {
 		log.Fatal(err)
 	}
-	degSpread, err := ic.ExpectedSpread(ds.Graph, ds.TrueProbs, degSeeds, mcRuns, r)
+	degSpread, err := ic.ExpectedSpread(context.Background(), ds.Graph, ds.TrueProbs, degSeeds, mcRuns, r)
 	if err != nil {
 		log.Fatal(err)
 	}

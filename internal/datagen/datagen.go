@@ -373,11 +373,11 @@ type adoption struct {
 
 type adoptionHeap []adoption
 
-func (h adoptionHeap) Len() int            { return len(h) }
-func (h adoptionHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h adoptionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *adoptionHeap) Push(x interface{}) { *h = append(*h, x.(adoption)) }
-func (h *adoptionHeap) Pop() interface{} {
+func (h adoptionHeap) Len() int           { return len(h) }
+func (h adoptionHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h adoptionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *adoptionHeap) Push(x any)        { *h = append(*h, x.(adoption)) }
+func (h *adoptionHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -152,7 +153,7 @@ func LatentDiffusionScorer(s PairScorer, agg Aggregator, numUsers int32) Diffusi
 func MonteCarloDiffusionScorer(g *graph.Graph, p ic.EdgeProber, runs int, seed uint64) DiffusionScoreFunc {
 	r := rng.New(seed)
 	return func(seeds []int32) ([]float64, error) {
-		return ic.MonteCarlo(g, p, seeds, runs, r)
+		return ic.MonteCarlo(context.Background(), g, p, seeds, runs, r)
 	}
 }
 

@@ -207,6 +207,43 @@ func TestSuiteEndToEnd(t *testing.T) {
 		}
 	})
 
+	t.Run("SeedsAnytime", func(t *testing.T) {
+		rows, err := s.SeedsAnytime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 5 {
+			t.Fatalf("rows = %d, want 5 budget points", len(rows))
+		}
+		final := rows[len(rows)-1]
+		if final.Stopped != "" || final.Budget != 0 {
+			t.Fatalf("last row must be the uninterrupted baseline, got %+v", final)
+		}
+		for i, r := range rows {
+			if i > 0 && r.Seeds < rows[i-1].Seeds {
+				t.Fatalf("seed count not monotone in budget: %+v", rows)
+			}
+			if r.Seeds > final.Seeds {
+				t.Fatalf("budgeted run selected more seeds than the full run: %+v", rows)
+			}
+			if r.Budget > 0 {
+				if r.Evaluations > r.Budget {
+					t.Fatalf("row %d overspent its budget: %+v", i, r)
+				}
+				if r.Stopped != "budget" && r.Seeds != final.Seeds {
+					t.Fatalf("interrupted row %d has no stop reason: %+v", i, r)
+				}
+			}
+		}
+		var sb strings.Builder
+		if err := RenderSeedsAnytime(&sb, rows); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "Anytime CELF") {
+			t.Fatalf("render output missing title:\n%s", sb.String())
+		}
+	})
+
 	t.Run("Render", func(t *testing.T) {
 		var sb strings.Builder
 		rows, err := s.TableI()

@@ -8,6 +8,7 @@
 package ic
 
 import (
+	"context"
 	"fmt"
 
 	"inf2vec/internal/graph"
@@ -106,12 +107,20 @@ func SimulateLT(g *graph.Graph, w EdgeProber, seeds []int32, r *rng.RNG) []bool 
 // by averaging over runs IC simulations (the paper uses 5,000 for the
 // diffusion-prediction task). It returns a probability per node; seeds
 // report 1.
-func MonteCarlo(g *graph.Graph, p EdgeProber, seeds []int32, runs int, r *rng.RNG) ([]float64, error) {
+//
+// Cancellation is observed between simulation runs — not only between whole
+// estimations — so a serving deadline bounds the latency of even a single
+// expensive spread evaluation. On expiry the partial estimate is discarded
+// and ctx.Err() is returned.
+func MonteCarlo(ctx context.Context, g *graph.Graph, p EdgeProber, seeds []int32, runs int, r *rng.RNG) ([]float64, error) {
 	if runs <= 0 {
 		return nil, fmt.Errorf("ic: MonteCarlo needs positive runs, got %d", runs)
 	}
 	counts := make([]int64, g.NumNodes())
 	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		active := SimulateIC(g, p, seeds, r)
 		for v, a := range active {
 			if a {
@@ -127,9 +136,11 @@ func MonteCarlo(g *graph.Graph, p EdgeProber, seeds []int32, runs int, r *rng.RN
 }
 
 // ExpectedSpread estimates the expected cascade size from the seed set — the
-// influence-maximization objective used by the viral-marketing example.
-func ExpectedSpread(g *graph.Graph, p EdgeProber, seeds []int32, runs int, r *rng.RNG) (float64, error) {
-	probs, err := MonteCarlo(g, p, seeds, runs, r)
+// influence-maximization objective used by the viral-marketing example and
+// the /v1/seeds workload. Like MonteCarlo it observes ctx between simulation
+// runs and returns ctx.Err() on expiry.
+func ExpectedSpread(ctx context.Context, g *graph.Graph, p EdgeProber, seeds []int32, runs int, r *rng.RNG) (float64, error) {
+	probs, err := MonteCarlo(ctx, g, p, seeds, runs, r)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package ic
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestMonteCarloMatchesClosedForm(t *testing.T) {
 	// P(1)=P(2)=0.5; P(3) = E[1-(1-0.5)^A] with A = active parents.
 	// P(3) = P(1 parent)·0.5 + P(2 parents)·0.75 = 2·0.25·0.5 + 0.25·0.75.
 	g := mustGraph(t, 4, [][2]int32{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
-	probs, err := MonteCarlo(g, constProber{g, 0.5}, []int32{0}, 40000, rng.New(4))
+	probs, err := MonteCarlo(context.Background(), g, constProber{g, 0.5}, []int32{0}, 40000, rng.New(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,14 +111,14 @@ func TestMonteCarloMatchesClosedForm(t *testing.T) {
 
 func TestMonteCarloRejectsBadRuns(t *testing.T) {
 	g := mustGraph(t, 2, [][2]int32{{0, 1}})
-	if _, err := MonteCarlo(g, constProber{g, 1}, []int32{0}, 0, rng.New(5)); err == nil {
+	if _, err := MonteCarlo(context.Background(), g, constProber{g, 1}, []int32{0}, 0, rng.New(5)); err == nil {
 		t.Fatal("runs=0 accepted")
 	}
 }
 
 func TestExpectedSpread(t *testing.T) {
 	g := mustGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
-	spread, err := ExpectedSpread(g, constProber{g, 1}, []int32{0}, 10, rng.New(6))
+	spread, err := ExpectedSpread(context.Background(), g, constProber{g, 1}, []int32{0}, 10, rng.New(6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,5 +198,17 @@ func TestEdgeProbsValidation(t *testing.T) {
 	}
 	if err := ep.Set(0, 1, 1.5); err == nil {
 		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestMonteCarloCancellationBetweenRuns(t *testing.T) {
+	g := mustGraph(t, 3, [][2]int32{{0, 1}, {1, 2}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MonteCarlo(ctx, g, constProber{g, 1}, []int32{0}, 10, rng.New(7)); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := ExpectedSpread(ctx, g, constProber{g, 1}, []int32{0}, 10, rng.New(8)); err != context.Canceled {
+		t.Fatalf("spread err = %v, want context.Canceled", err)
 	}
 }

@@ -1,8 +1,10 @@
 package infmax
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"inf2vec/internal/graph"
 )
@@ -11,6 +13,34 @@ import (
 type starProber struct{ g *graph.Graph }
 
 func (p starProber) Prob(u, v int32) float64 {
+	if p.g.HasEdge(u, v) {
+		return 1
+	}
+	return 0
+}
+
+// constProber gives a fixed probability on every edge, making spread
+// estimates genuinely Monte-Carlo (RNG-dependent).
+type constProber struct {
+	g *graph.Graph
+	p float64
+}
+
+func (p constProber) Prob(u, v int32) float64 {
+	if p.g.HasEdge(u, v) {
+		return p.p
+	}
+	return 0
+}
+
+// slowProber stalls on every edge lookup — a pathologically slow oracle.
+type slowProber struct {
+	g     *graph.Graph
+	delay time.Duration
+}
+
+func (p slowProber) Prob(u, v int32) float64 {
+	time.Sleep(p.delay)
 	if p.g.HasEdge(u, v) {
 		return 1
 	}
@@ -36,7 +66,7 @@ func twoStars(t *testing.T) *graph.Graph {
 
 func TestGreedyPicksHubsInOrder(t *testing.T) {
 	g := twoStars(t)
-	res, err := Greedy(g, starProber{g}, Config{Seeds: 2, MonteCarloRuns: 20, Seed: 1})
+	res, err := Greedy(context.Background(), g, starProber{g}, Config{Seeds: 2, MonteCarloRuns: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +80,14 @@ func TestGreedyPicksHubsInOrder(t *testing.T) {
 	if math.Abs(res.Spread[0]-6) > 1e-9 || math.Abs(res.Spread[1]-10) > 1e-9 {
 		t.Fatalf("spread trajectory = %v, want [6 10]", res.Spread)
 	}
+	if res.Partial || res.Stopped != "" {
+		t.Fatalf("uninterrupted run flagged partial: %+v", res)
+	}
 }
 
 func TestGreedySpreadMonotone(t *testing.T) {
 	g := twoStars(t)
-	res, err := Greedy(g, starProber{g}, Config{Seeds: 4, MonteCarloRuns: 20, Seed: 2})
+	res, err := Greedy(context.Background(), g, starProber{g}, Config{Seeds: 4, MonteCarloRuns: 20, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +100,7 @@ func TestGreedySpreadMonotone(t *testing.T) {
 
 func TestGreedyCandidateRestriction(t *testing.T) {
 	g := twoStars(t)
-	res, err := Greedy(g, starProber{g}, Config{
+	res, err := Greedy(context.Background(), g, starProber{g}, Config{
 		Seeds: 1, MonteCarloRuns: 20, Seed: 3, Candidates: []int32{6, 7},
 	})
 	if err != nil {
@@ -80,7 +113,7 @@ func TestGreedyCandidateRestriction(t *testing.T) {
 
 func TestGreedyCELFPrunes(t *testing.T) {
 	g := twoStars(t)
-	res, err := Greedy(g, starProber{g}, Config{Seeds: 3, MonteCarloRuns: 10, Seed: 4})
+	res, err := Greedy(context.Background(), g, starProber{g}, Config{Seeds: 3, MonteCarloRuns: 10, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +126,214 @@ func TestGreedyCELFPrunes(t *testing.T) {
 
 func TestGreedyValidation(t *testing.T) {
 	g := twoStars(t)
-	if _, err := Greedy(g, starProber{g}, Config{Seeds: 0}); err == nil {
-		t.Error("zero budget accepted")
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero budget", Config{Seeds: 0}},
+		{"budget above candidates", Config{Seeds: 5, Candidates: []int32{1}}},
+		{"negative MC runs", Config{Seeds: 1, MonteCarloRuns: -1}},
+		{"negative eval budget", Config{Seeds: 1, MaxEvaluations: -1}},
+		{"negative per-eval timeout", Config{Seeds: 1, PerEvalTimeout: -time.Second}},
+		{"candidate above range", Config{Seeds: 1, Candidates: []int32{11}}},
+		{"negative candidate", Config{Seeds: 1, Candidates: []int32{-1}}},
+		{"duplicate candidates", Config{Seeds: 1, Candidates: []int32{3, 4, 3}}},
 	}
-	if _, err := Greedy(g, starProber{g}, Config{Seeds: 5, Candidates: []int32{1}}); err == nil {
-		t.Error("budget above candidate count accepted")
+	for _, c := range cases {
+		if _, err := Greedy(context.Background(), g, starProber{g}, c.cfg); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
 	}
-	if _, err := Greedy(g, starProber{g}, Config{Seeds: 1, MonteCarloRuns: -1}); err == nil {
-		t.Error("negative MC runs accepted")
+}
+
+// run is a test helper for an uninterrupted reference selection.
+func run(t *testing.T, g *graph.Graph, cfg Config) *Result {
+	t.Helper()
+	res, err := Greedy(context.Background(), g, constProber{g, 0.3}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGreedyInvariants pins the satellite contract: non-decreasing spread
+// trajectory, the evaluation-count upper bound, and bitwise-deterministic
+// results for a fixed seed.
+func TestGreedyInvariants(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 4, MonteCarloRuns: 30, Seed: 9}
+	res := run(t, g, cfg)
+
+	if len(res.Seeds) != cfg.Seeds || len(res.Spread) != cfg.Seeds {
+		t.Fatalf("selected %d seeds / %d spreads, want %d", len(res.Seeds), len(res.Spread), cfg.Seeds)
+	}
+	for i := 1; i < len(res.Spread); i++ {
+		if res.Spread[i] < res.Spread[i-1] {
+			t.Errorf("spread trajectory decreases at %d: %v", i, res.Spread)
+		}
+	}
+	if bound := cfg.Seeds * int(g.NumNodes()); res.Evaluations > bound {
+		t.Errorf("evaluations = %d above k·|candidates| = %d", res.Evaluations, bound)
+	}
+
+	again := run(t, g, cfg)
+	if again.Evaluations != res.Evaluations {
+		t.Fatalf("evaluations differ across identical runs: %d vs %d", again.Evaluations, res.Evaluations)
+	}
+	for i := range res.Seeds {
+		if again.Seeds[i] != res.Seeds[i] {
+			t.Fatalf("seeds differ across identical runs: %v vs %v", again.Seeds, res.Seeds)
+		}
+		if math.Float64bits(again.Spread[i]) != math.Float64bits(res.Spread[i]) {
+			t.Fatalf("spread not bitwise deterministic at %d: %x vs %x",
+				i, math.Float64bits(again.Spread[i]), math.Float64bits(res.Spread[i]))
+		}
+	}
+}
+
+// requirePrefix asserts that partial is an exact (bitwise) prefix of full.
+func requirePrefix(t *testing.T, partial, full *Result) {
+	t.Helper()
+	if len(partial.Seeds) > len(full.Seeds) {
+		t.Fatalf("partial selected %d seeds, full run only %d", len(partial.Seeds), len(full.Seeds))
+	}
+	for i := range partial.Seeds {
+		if partial.Seeds[i] != full.Seeds[i] {
+			t.Fatalf("partial seeds %v not a prefix of full %v", partial.Seeds, full.Seeds)
+		}
+		if math.Float64bits(partial.Spread[i]) != math.Float64bits(full.Spread[i]) {
+			t.Fatalf("partial spread %v not a bitwise prefix of full %v", partial.Spread, full.Spread)
+		}
+	}
+}
+
+// TestFaultBudgetExhaustionYieldsExactPrefix sweeps the evaluation budget
+// from 1 to the uninterrupted run's count: every budgeted run must return a
+// valid flagged prefix of the uninterrupted selection, within budget.
+func TestFaultBudgetExhaustionYieldsExactPrefix(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 3, MonteCarloRuns: 25, Seed: 11}
+	full := run(t, g, cfg)
+
+	for budget := 1; budget <= full.Evaluations; budget++ {
+		bcfg := cfg
+		bcfg.MaxEvaluations = budget
+		res := run(t, g, bcfg)
+		if res.Evaluations > budget {
+			t.Fatalf("budget %d: spent %d evaluations", budget, res.Evaluations)
+		}
+		if budget < full.Evaluations {
+			if !res.Partial || res.Stopped != StopBudget {
+				t.Fatalf("budget %d: partial=%v stopped=%q, want budget stop", budget, res.Partial, res.Stopped)
+			}
+		} else if res.Partial {
+			t.Fatalf("budget %d covers the full run but was flagged partial", budget)
+		}
+		requirePrefix(t, res, full)
+	}
+}
+
+// TestFaultCancelAtEvaluationN drives the cancel-at-evaluation hook: a
+// context canceled at every possible evaluation index must yield a flagged
+// valid prefix, never an error or a hang.
+func TestFaultCancelAtEvaluationN(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 3, MonteCarloRuns: 25, Seed: 13}
+	full := run(t, g, cfg)
+
+	for n := 0; n < full.Evaluations; n++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		ccfg := cfg
+		ccfg.Hooks.BeforeEval = func(eval int, seeds []int32) error {
+			if eval == n {
+				cancel()
+			}
+			return nil
+		}
+		res, err := Greedy(ctx, g, constProber{g, 0.3}, ccfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("cancel at eval %d: %v", n, err)
+		}
+		if !res.Partial || res.Stopped != StopCanceled {
+			t.Fatalf("cancel at eval %d: partial=%v stopped=%q", n, res.Partial, res.Stopped)
+		}
+		requirePrefix(t, res, full)
+	}
+}
+
+// TestFaultOracleFailureAtEvaluationN injects an oracle failure at every
+// evaluation index; each run must degrade to a flagged valid prefix.
+func TestFaultOracleFailureAtEvaluationN(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 3, MonteCarloRuns: 25, Seed: 17}
+	full := run(t, g, cfg)
+
+	for n := 0; n < full.Evaluations; n++ {
+		fcfg := cfg
+		fcfg.Hooks.BeforeEval = func(eval int, seeds []int32) error {
+			if eval == n {
+				return context.Canceled // any error: the oracle broke
+			}
+			return nil
+		}
+		res, err := Greedy(context.Background(), g, constProber{g, 0.3}, fcfg)
+		if err != nil {
+			t.Fatalf("oracle failure at eval %d: %v", n, err)
+		}
+		if !res.Partial || res.Stopped != StopOracle {
+			t.Fatalf("oracle failure at eval %d: partial=%v stopped=%q", n, res.Partial, res.Stopped)
+		}
+		if res.Evaluations != n {
+			t.Fatalf("oracle failure at eval %d: %d evaluations completed", n, res.Evaluations)
+		}
+		requirePrefix(t, res, full)
+	}
+}
+
+// TestFaultDeadlineMidCELF expires the context deadline mid-selection (via a
+// hook that outsleeps it) and requires a flagged valid prefix.
+func TestFaultDeadlineMidCELF(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 3, MonteCarloRuns: 25, Seed: 19}
+	full := run(t, g, cfg)
+
+	stallAt := full.Evaluations / 2
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	dcfg := cfg
+	dcfg.Hooks.BeforeEval = func(eval int, seeds []int32) error {
+		if eval == stallAt {
+			<-ctx.Done() // the oracle stalls until the deadline passes
+		}
+		return nil
+	}
+	res, err := Greedy(ctx, g, constProber{g, 0.3}, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stopped != StopDeadline {
+		t.Fatalf("partial=%v stopped=%q, want deadline stop", res.Partial, res.Stopped)
+	}
+	requirePrefix(t, res, full)
+}
+
+// TestFaultSlowOraclePerEvalTimeout bounds a single evaluation: a prober
+// that stalls on every edge must trip PerEvalTimeout while the parent
+// context is still live, and be reported as an eval timeout, not a deadline.
+func TestFaultSlowOraclePerEvalTimeout(t *testing.T) {
+	g := twoStars(t)
+	res, err := Greedy(context.Background(), g, slowProber{g, 2 * time.Millisecond}, Config{
+		Seeds: 2, MonteCarloRuns: 50, Seed: 23, PerEvalTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.Stopped != StopEvalTimeout {
+		t.Fatalf("partial=%v stopped=%q, want eval_timeout", res.Partial, res.Stopped)
+	}
+	if len(res.Seeds) != 0 {
+		t.Fatalf("first evaluation timed out but %v was selected", res.Seeds)
 	}
 }
 

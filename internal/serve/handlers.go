@@ -36,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/score", api(s.handleScore))
 	mux.Handle("POST /v1/activation", api(s.handleActivation))
 	mux.Handle("GET /v1/topk", api(s.handleTopK))
+	mux.Handle("POST /v1/seeds", api(s.handleSeeds))
 
 	return s.withObservability(s.withRecovery(mux))
 }

@@ -113,7 +113,7 @@ func (s *Server) withObservability(h http.Handler) http.Handler {
 // knownRoutes is the fixed route-label set: labeling by raw path would let
 // clients mint unbounded metric cardinality.
 var knownRoutes = map[string]bool{
-	"/v1/score": true, "/v1/activation": true, "/v1/topk": true,
+	"/v1/score": true, "/v1/activation": true, "/v1/topk": true, "/v1/seeds": true,
 	"/healthz": true, "/readyz": true, "/metrics": true, "/debug/statz": true,
 }
 

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"inf2vec/internal/graph"
+	"inf2vec/internal/ic"
+	"inf2vec/internal/infmax"
+)
+
+// Request-shape caps for /v1/seeds: seed selection is the server's most
+// expensive workload, so every dimension of a request is bounded.
+const (
+	maxSeedsK          = 100     // seeds per request
+	maxSeedsCandidates = 10_000  // candidate pool size (any policy)
+	maxSeedsMCRuns     = 10_000  // Monte-Carlo runs per spread evaluation
+	maxSeedsBudget     = 1 << 30 // evaluation budget
+	defaultSeedsMCRuns = 100
+	defaultSeedsPool   = 100
+)
+
+// seedsService is the influence-maximization-as-a-service subsystem: the
+// diffusion graph, a degree-ranked candidate shortlist, a dedicated
+// concurrency limit, an in-flight singleflight table and an LRU result
+// cache. It is nil when the server was started without a graph.
+type seedsService struct {
+	g        *graph.Graph
+	byDegree []int32 // all nodes, by descending out-degree (ties: ascending ID)
+	offset   float64 // logistic-link offset for the model prober
+	limit    chan struct{}
+
+	mu    sync.Mutex
+	calls map[string]*seedsCall
+
+	cache seedsCache
+}
+
+// seedsCall is one in-flight computation that identical requests join
+// instead of recomputing.
+type seedsCall struct {
+	done   chan struct{}
+	resp   *seedsResponse // nil when the computation failed
+	status int            // HTTP status when resp is nil
+	errMsg string
+}
+
+// newSeedsService loads the diffusion graph and builds the degree shortlist.
+func newSeedsService(path string, maxInFlight, cacheSize int, offset float64) (*seedsService, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f, 0)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	byDegree := make([]int32, g.NumNodes())
+	for u := int32(0); u < g.NumNodes(); u++ {
+		byDegree[u] = u
+	}
+	sort.Slice(byDegree, func(i, j int) bool {
+		a, b := byDegree[i], byDegree[j]
+		if da, db := g.OutDegree(a), g.OutDegree(b); da != db {
+			return da > db
+		}
+		return a < b
+	})
+	return &seedsService{
+		g:        g,
+		byDegree: byDegree,
+		offset:   offset,
+		limit:    make(chan struct{}, maxInFlight),
+		calls:    make(map[string]*seedsCall),
+		cache:    seedsCache{cap: cacheSize, items: make(map[string]*list.Element)},
+	}, nil
+}
+
+// seedsCache is a mutex-guarded LRU over finished (non-partial) results,
+// keyed by (model CRC, k, budget, MC runs, candidate set). It keeps
+// answering identical requests across hot reloads of an unchanged model and
+// while the oracle is failing.
+type seedsCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type seedsCacheEntry struct {
+	key  string
+	resp *seedsResponse
+}
+
+func (c *seedsCache) get(key string) *seedsResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*seedsCacheEntry).resp
+}
+
+func (c *seedsCache) put(key string, resp *seedsResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*seedsCacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&seedsCacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*seedsCacheEntry).key)
+	}
+}
+
+// seedsRequest is the /v1/seeds JSON body. The per-request deadline comes
+// from the shared ?timeout_ms= query parameter like every other API route.
+type seedsRequest struct {
+	// K is the number of seed users to select.
+	K int `json:"k"`
+	// Budget caps Monte-Carlo spread evaluations (0 = deadline-bounded only).
+	Budget int `json:"budget"`
+	// MCRuns is the Monte-Carlo runs per spread evaluation (default 100).
+	MCRuns int `json:"mc_runs"`
+	// Policy picks the candidate pool: "degree" (default; top Pool users by
+	// out-degree), "all" (every node; small graphs only) or "list"
+	// (explicit Candidates).
+	Policy string `json:"policy"`
+	// Pool sizes the "degree" shortlist (default 100).
+	Pool int `json:"pool"`
+	// Candidates is the explicit pool for policy "list".
+	Candidates []int32 `json:"candidates"`
+}
+
+// seedsResponse is the /v1/seeds result. Partial marks a degraded (deadline,
+// budget or oracle-failure bounded) answer: Seeds is the best-so-far prefix
+// of the full selection, never a torn set.
+type seedsResponse struct {
+	Seeds       []int32   `json:"seeds"`
+	Spread      []float64 `json:"spread"`
+	Evaluations int       `json:"evaluations"`
+	Partial     bool      `json:"partial"`
+	Stopped     string    `json:"stopped,omitempty"`
+	Cached      bool      `json:"cached"`
+	Candidates  int       `json:"candidates"`
+	ModelCRC    string    `json:"model_crc"`
+}
+
+// resolveCandidates turns the request's candidate policy into a concrete
+// pool. Explicit lists are validated down in infmax.Greedy (range, dupes).
+func (svc *seedsService) resolveCandidates(req *seedsRequest) ([]int32, error) {
+	switch req.Policy {
+	case "", "degree":
+		pool := req.Pool
+		if pool == 0 {
+			pool = defaultSeedsPool
+		}
+		if pool < 0 || pool > maxSeedsCandidates {
+			return nil, fmt.Errorf("pool must be in [1,%d]", maxSeedsCandidates)
+		}
+		if n := int(svc.g.NumNodes()); pool > n {
+			pool = n
+		}
+		return svc.byDegree[:pool], nil
+	case "all":
+		if int(svc.g.NumNodes()) > maxSeedsCandidates {
+			return nil, fmt.Errorf("policy \"all\" needs a graph of at most %d nodes (have %d); use \"degree\" or \"list\"",
+				maxSeedsCandidates, svc.g.NumNodes())
+		}
+		return svc.byDegree[:svc.g.NumNodes()], nil
+	case "list":
+		if len(req.Candidates) == 0 {
+			return nil, errors.New("policy \"list\" needs a non-empty candidates array")
+		}
+		if len(req.Candidates) > maxSeedsCandidates {
+			return nil, fmt.Errorf("at most %d candidates (got %d)", maxSeedsCandidates, len(req.Candidates))
+		}
+		return req.Candidates, nil
+	default:
+		return nil, fmt.Errorf("unknown candidate policy %q (want degree, all or list)", req.Policy)
+	}
+}
+
+// seedsKey fingerprints everything the answer depends on — the serving
+// model (CRC), the selection shape and the exact candidate pool — so the
+// cache can never serve a stale model's seeds and an unchanged model keeps
+// its cache across hot reloads.
+func seedsKey(modelCRC uint32, req *seedsRequest, cands []int32, offset float64) (string, uint64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(modelCRC))
+	put(uint64(req.K))
+	put(uint64(req.Budget))
+	put(uint64(req.MCRuns))
+	put(uint64(int64(offset * 1e9)))
+	put(uint64(len(cands)))
+	for _, u := range cands {
+		put(uint64(uint32(u)))
+	}
+	sum := h.Sum64()
+	return fmt.Sprintf("%08x:%d:%d:%d:%016x", modelCRC, req.K, req.Budget, req.MCRuns, sum), sum
+}
+
+// handleSeeds serves POST /v1/seeds: anytime CELF seed selection under the
+// request deadline, an optional evaluation budget, a dedicated concurrency
+// limit (so one expensive request cannot starve cheap score/topk traffic),
+// singleflight collapsing of identical in-flight requests, and an LRU cache
+// keyed by model CRC.
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	svc := s.seeds
+	if svc == nil {
+		writeError(w, http.StatusNotImplemented, "seed selection disabled: server started without -graph")
+		return
+	}
+	ctx := r.Context()
+	var req seedsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.MCRuns == 0 {
+		req.MCRuns = defaultSeedsMCRuns
+	}
+	switch {
+	case req.K <= 0 || req.K > maxSeedsK:
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d]", maxSeedsK))
+		return
+	case req.Budget < 0 || req.Budget > maxSeedsBudget:
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("budget must be in [0,%d]", maxSeedsBudget))
+		return
+	case req.MCRuns < 0 || req.MCRuns > maxSeedsMCRuns:
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("mc_runs must be in [1,%d]", maxSeedsMCRuns))
+		return
+	}
+	cands, err := svc.resolveCandidates(&req)
+	if err != nil {
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	m := s.model.Load()
+	key, sum := seedsKey(m.crc, &req, cands, svc.offset)
+	start := time.Now()
+	if resp := svc.cache.get(key); resp != nil {
+		s.met.seedsCacheHits.Inc()
+		s.met.seedsRequests.With("full").Inc()
+		s.met.seedsLatency.Observe(time.Since(start).Seconds())
+		cached := *resp
+		cached.Cached = true
+		writeJSON(w, http.StatusOK, cached)
+		return
+	}
+	s.met.seedsCacheMisses.Inc()
+
+	// Singleflight: join an identical in-flight computation, else become the
+	// leader — which requires a slot from the seeds concurrency limit. The
+	// slot check is non-blocking: refusing immediately with 429 beats
+	// queueing unboundedly behind multi-second CELF runs.
+	svc.mu.Lock()
+	if call, ok := svc.calls[key]; ok {
+		svc.mu.Unlock()
+		s.met.seedsCollapsed.Inc()
+		select {
+		case <-call.done:
+			s.finishSeeds(w, call.resp, call.status, call.errMsg, start)
+		case <-ctx.Done():
+			s.met.seedsRequests.With("error").Inc()
+			s.writeTimeout(w)
+		}
+		return
+	}
+	select {
+	case svc.limit <- struct{}{}:
+	default:
+		svc.mu.Unlock()
+		s.met.seedsRequests.With("shed").Inc()
+		if rec, ok := w.(*recorder); ok {
+			rec.shed = true
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "seed selection at concurrency limit")
+		return
+	}
+	call := &seedsCall{done: make(chan struct{})}
+	svc.calls[key] = call
+	svc.mu.Unlock()
+
+	s.met.seedsInFlight.Add(1)
+	func() {
+		defer func() {
+			// A panicking Greedy run must still release the slot and wake
+			// followers (with a 500) before the recovery layer reports it.
+			if call.resp == nil && call.status == 0 {
+				call.status = http.StatusInternalServerError
+				call.errMsg = "internal error"
+			}
+			svc.mu.Lock()
+			delete(svc.calls, key)
+			svc.mu.Unlock()
+			close(call.done)
+			s.met.seedsInFlight.Add(-1)
+			<-svc.limit
+		}()
+		res, err := infmax.Greedy(ctx, svc.g, s.seedsProber(m), infmax.Config{
+			Seeds:          req.K,
+			MonteCarloRuns: req.MCRuns,
+			// The seed derives from the request fingerprint: identical
+			// requests are bitwise reproducible (and therefore cacheable),
+			// while different shapes draw independent streams.
+			Seed:           sum,
+			Candidates:     cands,
+			MaxEvaluations: req.Budget,
+			Hooks:          s.seedsTestHooks,
+		})
+		if err != nil {
+			call.status = http.StatusBadRequest
+			call.errMsg = err.Error()
+			return
+		}
+		resp := &seedsResponse{
+			Seeds:       res.Seeds,
+			Spread:      res.Spread,
+			Evaluations: res.Evaluations,
+			Partial:     res.Partial,
+			Stopped:     res.Stopped,
+			Candidates:  len(cands),
+			ModelCRC:    fmt.Sprintf("%08x", m.crc),
+		}
+		if resp.Seeds == nil {
+			resp.Seeds = []int32{}
+		}
+		if resp.Spread == nil {
+			resp.Spread = []float64{}
+		}
+		s.met.seedsEvals.Observe(float64(res.Evaluations))
+		call.resp = resp
+		if !res.Partial {
+			svc.cache.put(key, resp)
+		}
+	}()
+	s.finishSeeds(w, call.resp, call.status, call.errMsg, start)
+}
+
+// finishSeeds writes one computed (or joined) outcome and classifies it for
+// the result metrics: full, partial or error.
+func (s *Server) finishSeeds(w http.ResponseWriter, resp *seedsResponse, status int, errMsg string, start time.Time) {
+	s.met.seedsLatency.Observe(time.Since(start).Seconds())
+	if resp == nil {
+		s.met.seedsRequests.With("error").Inc()
+		writeError(w, status, errMsg)
+		return
+	}
+	if resp.Partial {
+		s.met.seedsRequests.With("partial").Inc()
+	} else {
+		s.met.seedsRequests.With("full").Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// seedsProber maps the serving model's learned pair scores onto IC edge
+// probabilities through a logistic link. Graph nodes outside the model's
+// universe (a graph/model mismatch survived gracefully rather than fatally)
+// score as "no learned influence" — probability ~0 — instead of panicking
+// an array index deep inside the simulation.
+func (s *Server) seedsProber(m *model) ic.EdgeProber {
+	n := m.store.NumUsers()
+	return &infmax.ModelProber{
+		G:      s.seeds.g,
+		Offset: s.seeds.offset,
+		Score: func(u, v int32) float64 {
+			if u >= n || v >= n {
+				return -50 // σ(-50+offset) ≈ 0: unknown users don't propagate
+			}
+			return m.store.Score(u, v)
+		},
+	}
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inf2vec/internal/infmax"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFaultSeedsDeadlineMidCELFYieldsPartialPrefix interrupts a CELF run
+// mid-selection (after the initial candidate pass, once at least one seed is
+// chosen) via the request deadline, then reruns the identical request
+// uninterrupted and checks the partial answer is an exact prefix — the
+// anytime contract, end to end over HTTP.
+func TestFaultSeedsDeadlineMidCELFYieldsPartialPrefix(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// The initial pass over 11 candidates spends evaluations 0..10; from
+	// evaluation 12 on, at least one seed has been selected. Stalling there
+	// longer than the 100ms request deadline forces StopDeadline mid-CELF.
+	s.seedsTestHooks = infmax.Hooks{BeforeEval: func(eval int, seeds []int32) error {
+		if eval >= 12 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		return nil
+	}}
+	const body = `{"k":3,"policy":"all","mc_runs":30}`
+	var partial seedsResponse
+	if code := postSeeds(t, ts, "?timeout_ms=100", body, &partial); code != http.StatusOK {
+		t.Fatalf("interrupted run status %d, want 200 (anytime, not an error)", code)
+	}
+	if !partial.Partial || partial.Stopped != infmax.StopDeadline {
+		t.Fatalf("want partial/deadline, got %+v", partial)
+	}
+	if len(partial.Seeds) < 1 || len(partial.Seeds) >= 3 {
+		t.Fatalf("deadline at eval 12 should leave 1 or 2 seeds, got %v", partial.Seeds)
+	}
+	if len(partial.Spread) != len(partial.Seeds) {
+		t.Fatalf("torn answer: %d seeds but %d spreads", len(partial.Seeds), len(partial.Spread))
+	}
+	for i := 1; i < len(partial.Spread); i++ {
+		if partial.Spread[i] < partial.Spread[i-1] {
+			t.Fatalf("partial spread not monotone: %v", partial.Spread)
+		}
+	}
+
+	// Same request, uninterrupted. Partial results are never cached and the
+	// RNG seed derives from the request fingerprint, so this recomputes the
+	// exact evaluation stream to completion.
+	s.seedsTestHooks = infmax.Hooks{}
+	var full seedsResponse
+	if code := postSeeds(t, ts, "", body, &full); code != http.StatusOK {
+		t.Fatalf("full run status %d", code)
+	}
+	if full.Partial || len(full.Seeds) != 3 {
+		t.Fatalf("uninterrupted run: %+v", full)
+	}
+	for i, u := range partial.Seeds {
+		if full.Seeds[i] != u || full.Spread[i] != partial.Spread[i] {
+			t.Fatalf("partial %v/%v is not an exact prefix of full %v/%v",
+				partial.Seeds, partial.Spread, full.Seeds, full.Spread)
+		}
+	}
+
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Seeds.Partial != 1 || snap.Seeds.Full != 1 {
+		t.Fatalf("statz partial/full = %d/%d, want 1/1", snap.Seeds.Partial, snap.Seeds.Full)
+	}
+}
+
+// TestFaultSeedsBudgetExhaustionOverHTTP spends the evaluation budget before
+// the initial pass completes: still HTTP 200, flagged partial with an empty
+// (but valid) prefix and exactly the budgeted number of evaluations.
+func TestFaultSeedsBudgetExhaustionOverHTTP(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":2,"policy":"all","budget":5,"mc_runs":30}`, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !got.Partial || got.Stopped != infmax.StopBudget {
+		t.Fatalf("want partial/budget, got %+v", got)
+	}
+	if got.Evaluations != 5 {
+		t.Fatalf("evaluations = %d, want exactly the budget of 5", got.Evaluations)
+	}
+	if len(got.Seeds) != 0 || len(got.Spread) != 0 {
+		t.Fatalf("budget inside the initial pass must yield an empty prefix, got %v", got.Seeds)
+	}
+}
+
+// TestFaultSeedsOracleFailureDegrades drives the per-evaluation failure
+// hook: a failing oracle degrades to a partial prefix (never a 500), and the
+// result cache keeps answering previously computed selections while the
+// oracle is down.
+func TestFaultSeedsOracleFailureDegrades(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var oracleDown atomic.Bool
+	s.seedsTestHooks = infmax.Hooks{BeforeEval: func(eval int, seeds []int32) error {
+		if oracleDown.Load() {
+			return errors.New("injected oracle failure")
+		}
+		return nil
+	}}
+
+	const body = `{"k":1,"policy":"all","mc_runs":30}`
+	var healthy seedsResponse
+	if code := postSeeds(t, ts, "", body, &healthy); code != http.StatusOK || healthy.Partial {
+		t.Fatalf("healthy run: status %d, %+v", code, healthy)
+	}
+
+	oracleDown.Store(true)
+
+	// The identical request is a cache hit: answered in full despite the
+	// broken oracle.
+	var cached seedsResponse
+	if code := postSeeds(t, ts, "", body, &cached); code != http.StatusOK {
+		t.Fatalf("cached-while-down status %d", code)
+	}
+	if !cached.Cached || cached.Partial {
+		t.Fatalf("want full cached answer during oracle outage, got %+v", cached)
+	}
+
+	// A novel request degrades: 200, zero seeds selected, stopped=oracle_error.
+	var degraded seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":2,"policy":"all","mc_runs":30}`, &degraded); code != http.StatusOK {
+		t.Fatalf("degraded status %d, want 200", code)
+	}
+	if !degraded.Partial || degraded.Stopped != infmax.StopOracle {
+		t.Fatalf("want partial/oracle_error, got %+v", degraded)
+	}
+	if degraded.Evaluations != 0 {
+		t.Fatalf("failing oracle spent %d evaluations, want 0", degraded.Evaluations)
+	}
+
+	// Degraded answers are not cached: recovery serves fresh full results.
+	oracleDown.Store(false)
+	var recovered seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":2,"policy":"all","mc_runs":30}`, &recovered); code != http.StatusOK {
+		t.Fatalf("recovered status %d", code)
+	}
+	if recovered.Partial || recovered.Cached || len(recovered.Seeds) != 2 {
+		t.Fatalf("after recovery want a fresh full selection, got %+v", recovered)
+	}
+}
+
+// TestFaultSeedsShedAtLimitScoreUnaffected saturates the dedicated seeds
+// concurrency limit (1) with a stalled computation and checks the three
+// isolation properties: a second distinct seeds request is shed with 429, an
+// identical request collapses onto the in-flight computation instead, and
+// /v1/score keeps answering fast throughout — the expensive endpoint cannot
+// starve the cheap ones.
+func TestFaultSeedsShedAtLimitScoreUnaffected(t *testing.T) {
+	s, _ := newSeedsTestServer(t, func(c *Config) { c.SeedsMaxInFlight = 1 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	release := make(chan struct{})
+	s.seedsTestHooks = infmax.Hooks{BeforeEval: func(eval int, seeds []int32) error {
+		select {
+		case <-release:
+			return nil
+		case <-time.After(10 * time.Second):
+			return errors.New("test stall never released")
+		}
+	}}
+
+	const leaderBody = `{"k":1,"pool":2,"mc_runs":30}`
+	var wg sync.WaitGroup
+	var leader, follower seedsResponse
+	var leaderCode, followerCode int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderCode = postSeeds(t, ts, "", leaderBody, &leader)
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.met.seedsInFlight.Value() == 1 }, "leader in flight")
+
+	// An identical request joins the in-flight computation (no second slot
+	// needed) rather than being shed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		followerCode = postSeeds(t, ts, "", leaderBody, &follower)
+	}()
+	waitFor(t, 5*time.Second, func() bool { return s.met.seedsCollapsed.Value() == 1 }, "follower collapsed")
+
+	// A distinct request needs its own slot: immediate 429, not a queue.
+	resp, err := ts.Client().Post(ts.URL+"/v1/seeds", "application/json",
+		strings.NewReader(`{"k":2,"pool":3,"mc_runs":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("distinct request at limit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+
+	// Cheap traffic is unaffected while the seeds limit is saturated.
+	begin := time.Now()
+	var score scoreResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/score?source=3&target=5", &score); code != http.StatusOK {
+		t.Fatalf("/v1/score during seeds stall: status %d", code)
+	}
+	if score.Score != 35 {
+		t.Fatalf("score = %v, want 35", score.Score)
+	}
+	if d := time.Since(begin); d > 500*time.Millisecond {
+		t.Fatalf("/v1/score took %v while seeds stalled; should be unaffected", d)
+	}
+
+	close(release)
+	wg.Wait()
+	if leaderCode != http.StatusOK || followerCode != http.StatusOK {
+		t.Fatalf("leader/follower status %d/%d", leaderCode, followerCode)
+	}
+	if leader.Partial || follower.Partial {
+		t.Fatalf("released runs flagged partial: %+v / %+v", leader, follower)
+	}
+	if len(leader.Seeds) != 1 || len(follower.Seeds) != 1 || leader.Seeds[0] != follower.Seeds[0] {
+		t.Fatalf("collapsed request diverged: %v vs %v", leader.Seeds, follower.Seeds)
+	}
+
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Seeds.Shed != 1 || snap.Seeds.Collapsed != 1 {
+		t.Fatalf("statz shed/collapsed = %d/%d, want 1/1", snap.Seeds.Shed, snap.Seeds.Collapsed)
+	}
+	if snap.Seeds.InFlight != 0 {
+		t.Fatalf("statz in_flight = %d after completion, want 0", snap.Seeds.InFlight)
+	}
+}
+
+// TestFaultSeedsClientCancelNoGoroutineLeak cancels seeds requests
+// mid-computation and verifies the server winds everything down: the
+// in-flight gauge returns to zero, the singleflight table empties, the
+// concurrency slot is released (a fresh request succeeds), and no goroutines
+// are left behind.
+func TestFaultSeedsClientCancelNoGoroutineLeak(t *testing.T) {
+	s, _ := newSeedsTestServer(t, func(c *Config) { c.SeedsMaxInFlight = 1 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm up so the HTTP plumbing's long-lived goroutines are in the
+	// baseline.
+	if code := postSeeds(t, ts, "", `{"k":1,"pool":2,"mc_runs":30}`, nil); code != http.StatusOK {
+		t.Fatalf("warmup status %d", code)
+	}
+	ts.Client().CloseIdleConnections()
+	time.Sleep(20 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	// Every evaluation takes ≥40ms, so a 20ms client deadline always lands
+	// mid-run; Greedy observes the cancellation between Monte-Carlo runs.
+	s.seedsTestHooks = infmax.Hooks{BeforeEval: func(eval int, seeds []int32) error {
+		time.Sleep(40 * time.Millisecond)
+		return nil
+	}}
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/seeds",
+			strings.NewReader(`{"k":2,"policy":"all","mc_runs":30}`))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return s.met.seedsInFlight.Value() == 0 }, "in-flight drained")
+	s.seeds.mu.Lock()
+	pending := len(s.seeds.calls)
+	s.seeds.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d singleflight calls left registered after cancellation", pending)
+	}
+
+	// The slot was released: a fresh (uncached) request completes in full.
+	s.seedsTestHooks = infmax.Hooks{}
+	var after seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":1,"pool":3,"mc_runs":30}`, &after); code != http.StatusOK {
+		t.Fatalf("post-cancel request status %d", code)
+	}
+	if after.Partial {
+		t.Fatalf("post-cancel request degraded: %+v", after)
+	}
+
+	ts.Client().CloseIdleConnections()
+	waitFor(t, 5*time.Second, func() bool { return runtime.NumGoroutine() <= baseline+2 },
+		"goroutines back to baseline")
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSeedsGraph writes the test diffusion graph: a big star (0 → 1..5), a
+// small star (6 → 7..9) and a feeder edge 10 → 0, for 11 nodes and 9 edges.
+// With the x(u,v) = 10u+v test model and the default -2 offset, every edge
+// except hub 0's lowest-ID spokes fires with probability ≈1, so seed quality
+// is ordered 10 (cascades through 0) > 0 > 6 > everything else.
+func writeSeedsGraph(t *testing.T, dir string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("# test graph\n")
+	for v := 1; v <= 5; v++ {
+		b.WriteString("0\t")
+		b.WriteByte(byte('0' + v))
+		b.WriteString("\n")
+	}
+	for v := 7; v <= 9; v++ {
+		b.WriteString("6\t")
+		b.WriteByte(byte('0' + v))
+		b.WriteString("\n")
+	}
+	b.WriteString("10\t0\n")
+	path := filepath.Join(dir, "graph.edges")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newSeedsTestServer builds a Server with both a 12-user model (covering the
+// graph's 11 nodes) and the test graph, returning the server and the model
+// path (for reload tests).
+func newSeedsTestServer(t *testing.T, mutate func(*Config)) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	modelPath := writeModel(t, dir, testStore(t, 12))
+	cfg := Config{
+		ModelPath: modelPath,
+		GraphPath: writeSeedsGraph(t, dir),
+		Logger:    quietLogger(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, modelPath
+}
+
+// postSeeds posts body to /v1/seeds (plus an optional query string) and
+// decodes the response into out, returning the HTTP status.
+func postSeeds(t *testing.T, ts *httptest.Server, query, body string, out any) int {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+"/v1/seeds"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/seeds: %v", err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST /v1/seeds: decoding body: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSeedsEndpointFullSelection(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const body = `{"k":2,"policy":"all","mc_runs":50}`
+	var got seedsResponse
+	if code := postSeeds(t, ts, "", body, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Seeds) != 2 || len(got.Spread) != 2 {
+		t.Fatalf("got %d seeds / %d spreads, want 2/2", len(got.Seeds), len(got.Spread))
+	}
+	if got.Partial || got.Stopped != "" {
+		t.Fatalf("uninterrupted run flagged partial: %+v", got)
+	}
+	if got.Cached {
+		t.Fatal("first request claims to be cached")
+	}
+	if got.Spread[1] < got.Spread[0] {
+		t.Fatalf("spread not monotone: %v", got.Spread)
+	}
+	if got.Candidates != 11 {
+		t.Fatalf("candidates = %d, want 11 (policy all)", got.Candidates)
+	}
+	if got.Evaluations < 11 {
+		t.Fatalf("evaluations = %d, want >= 11 (one per candidate in the initial pass)", got.Evaluations)
+	}
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if got.ModelCRC != snap.Model.CRC32 {
+		t.Fatalf("response model_crc %s != serving model %s", got.ModelCRC, snap.Model.CRC32)
+	}
+
+	// The identical request is answered from the LRU cache with the same
+	// selection.
+	var again seedsResponse
+	if code := postSeeds(t, ts, "", body, &again); code != http.StatusOK {
+		t.Fatalf("cached status %d", code)
+	}
+	if !again.Cached {
+		t.Fatal("second identical request not served from cache")
+	}
+	if len(again.Seeds) != 2 || again.Seeds[0] != got.Seeds[0] || again.Seeds[1] != got.Seeds[1] {
+		t.Fatalf("cached seeds %v != computed %v", again.Seeds, got.Seeds)
+	}
+
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	switch {
+	case snap.Seeds == nil:
+		t.Fatal("statz missing seeds section")
+	case snap.Seeds.Full != 2:
+		t.Fatalf("statz full = %d, want 2", snap.Seeds.Full)
+	case snap.Seeds.CacheHits != 1 || snap.Seeds.CacheMisses != 1:
+		t.Fatalf("statz cache hits/misses = %d/%d, want 1/1", snap.Seeds.CacheHits, snap.Seeds.CacheMisses)
+	case snap.Seeds.GraphNodes != 11 || snap.Seeds.GraphEdges != 9:
+		t.Fatalf("statz graph = %d nodes / %d edges, want 11/9", snap.Seeds.GraphNodes, snap.Seeds.GraphEdges)
+	}
+}
+
+func TestSeedsDegreePolicyShortlist(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Pool 1 shortlists only the highest out-degree node — hub 0 (degree 5)
+	// — so the selection is forced regardless of spread estimates.
+	var got seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":1,"pool":1,"mc_runs":30}`, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if got.Candidates != 1 || len(got.Seeds) != 1 || got.Seeds[0] != 0 {
+		t.Fatalf("degree pool=1 selected %v from %d candidates, want [0] from 1", got.Seeds, got.Candidates)
+	}
+}
+
+func TestSeedsListPolicy(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var got seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":1,"policy":"list","candidates":[6],"mc_runs":30}`, &got); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Seeds) != 1 || got.Seeds[0] != 6 {
+		t.Fatalf("list policy selected %v, want [6]", got.Seeds)
+	}
+	// Hub 6 reaches its 3 spokes with probability ~1: spread ≈ 4.
+	if got.Spread[0] < 3.5 || got.Spread[0] > 4.5 {
+		t.Fatalf("spread(6) = %v, want ≈4", got.Spread[0])
+	}
+}
+
+func TestSeedsValidation(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"k zero", `{"k":0}`},
+		{"k too large", `{"k":101}`},
+		{"negative budget", `{"k":1,"budget":-1}`},
+		{"mc_runs too large", `{"k":1,"mc_runs":10001}`},
+		{"unknown policy", `{"k":1,"policy":"random"}`},
+		{"list without candidates", `{"k":1,"policy":"list"}`},
+		{"candidate out of range", `{"k":1,"policy":"list","candidates":[50]}`},
+		{"negative candidate", `{"k":1,"policy":"list","candidates":[-1]}`},
+		{"duplicate candidates", `{"k":1,"policy":"list","candidates":[3,3]}`},
+		{"more seeds than candidates", `{"k":2,"policy":"list","candidates":[3]}`},
+		{"negative pool", `{"k":1,"pool":-5}`},
+		{"unknown field", `{"k":1,"frobnicate":true}`},
+		{"not json", `seeds please`},
+	}
+	for _, c := range cases {
+		var body errorBody
+		if code := postSeeds(t, ts, "", c.body, &body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error body", c.name)
+		}
+	}
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Seeds.Errors != int64(len(cases)) {
+		t.Fatalf("statz errors = %d, want %d", snap.Seeds.Errors, len(cases))
+	}
+}
+
+func TestSeedsDisabledWithoutGraph(t *testing.T) {
+	s := newTestServer(t, nil) // no GraphPath
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var body errorBody
+	if code := postSeeds(t, ts, "", `{"k":1}`, &body); code != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", code)
+	}
+	if !strings.Contains(body.Error, "graph") {
+		t.Fatalf("error %q does not mention the missing graph", body.Error)
+	}
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Seeds != nil {
+		t.Fatal("statz has a seeds section without a graph")
+	}
+}
+
+func TestSeedsMetricsExposed(t *testing.T) {
+	s, _ := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code := postSeeds(t, ts, "", `{"k":1,"pool":2,"mc_runs":30}`, nil); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, family := range []string{
+		"inf2vec_seeds_requests_total",
+		"inf2vec_seeds_latency_seconds",
+		"inf2vec_seeds_evaluations",
+		"inf2vec_seeds_inflight",
+		"inf2vec_seeds_cache_hits_total",
+		"inf2vec_seeds_cache_misses_total",
+		"inf2vec_seeds_singleflight_collapsed_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+}
+
+func TestSeedsCacheSurvivesReloadOfUnchangedModel(t *testing.T) {
+	s, modelPath := newSeedsTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const body = `{"k":1,"pool":3,"mc_runs":30}`
+	var first seedsResponse
+	if code := postSeeds(t, ts, "", body, &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+
+	// A hot reload of the byte-identical model keeps the same CRC, so the
+	// cache keeps answering without recomputing.
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	var cached seedsResponse
+	if code := postSeeds(t, ts, "", body, &cached); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !cached.Cached {
+		t.Fatal("cache lost across hot reload of an unchanged model")
+	}
+	if cached.ModelCRC != first.ModelCRC {
+		t.Fatalf("model CRC changed across identical reload: %s -> %s", first.ModelCRC, cached.ModelCRC)
+	}
+
+	// Publishing a genuinely different model invalidates by key: the next
+	// request recomputes against the new scores.
+	changed := testStore(t, 12)
+	*changed.BiasSource(0) = 99
+	if err := changed.SaveFile(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatalf("reload changed model: %v", err)
+	}
+	var fresh seedsResponse
+	if code := postSeeds(t, ts, "", body, &fresh); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if fresh.Cached {
+		t.Fatal("stale cache served after the model changed")
+	}
+	if fresh.ModelCRC == first.ModelCRC {
+		t.Fatal("model CRC unchanged after publishing a different model")
+	}
+}

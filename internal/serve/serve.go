@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"inf2vec/internal/infmax"
 	"inf2vec/internal/obs"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs
 	// (default slog.Default()).
 	Logger *slog.Logger
+
+	// GraphPath is the diffusion graph edge list; setting it enables the
+	// POST /v1/seeds influence-maximization endpoint.
+	GraphPath string
+	// SeedsMaxInFlight bounds concurrent seed-selection computations, a far
+	// smaller limit than MaxInFlight so CELF runs cannot starve cheap
+	// score/topk traffic (default 2).
+	SeedsMaxInFlight int
+	// SeedsCacheSize bounds the LRU of finished seed selections (default 128).
+	SeedsCacheSize int
+	// SeedsOffset shifts the logistic link mapping model scores onto IC edge
+	// probabilities; more negative is more conservative (default -2).
+	SeedsOffset float64
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +110,15 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.SeedsMaxInFlight <= 0 {
+		c.SeedsMaxInFlight = 2
+	}
+	if c.SeedsCacheSize <= 0 {
+		c.SeedsCacheSize = 128
+	}
+	if c.SeedsOffset == 0 {
+		c.SeedsOffset = -2
+	}
 	return c
 }
 
@@ -113,10 +136,16 @@ type Server struct {
 	inflight chan struct{}
 	lnAddr   atomic.Value // string; the bound listen address once serving
 
+	// seeds is the influence-maximization subsystem; nil without a graph.
+	seeds *seedsService
+
 	// testDelay, when positive, stalls every API handler by that duration
 	// (observing the request context). Tests use it to hold requests
 	// in-flight deterministically; production leaves it zero.
 	testDelay time.Duration
+	// seedsTestHooks injects per-evaluation faults (failure, stall, cancel)
+	// into every /v1/seeds Greedy run. Tests only; zero in production.
+	seedsTestHooks infmax.Hooks
 }
 
 // New builds a Server and loads the initial model from cfg.ModelPath.
@@ -143,6 +172,20 @@ func New(cfg Config) (*Server, error) {
 		"version", obs.Version(),
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
 		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
+	if cfg.GraphPath != "" {
+		svc, err := newSeedsService(cfg.GraphPath, cfg.SeedsMaxInFlight, cfg.SeedsCacheSize, cfg.SeedsOffset)
+		if err != nil {
+			return nil, fmt.Errorf("serve: seeds graph: %w", err)
+		}
+		s.seeds = svc
+		if svc.g.NumNodes() > m.store.NumUsers() {
+			s.log.Warn("graph universe exceeds model universe; unknown users score as non-influencers",
+				"graph_nodes", svc.g.NumNodes(), "model_users", m.store.NumUsers())
+		}
+		s.log.Info("seeds service enabled",
+			"graph", cfg.GraphPath, "nodes", svc.g.NumNodes(), "edges", svc.g.NumEdges(),
+			"max_inflight", cfg.SeedsMaxInFlight, "cache", cfg.SeedsCacheSize)
+	}
 	return s, nil
 }
 

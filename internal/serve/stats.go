@@ -35,6 +35,18 @@ type serverMetrics struct {
 	reloadFailures    *obs.Counter  // inf2vec_model_reload_failures_total
 	reloadLastSuccess *obs.Gauge    // inf2vec_model_reload_last_success_timestamp_seconds
 	modelInfo         *obs.GaugeVec // inf2vec_model_info{path,crc32}
+
+	// Seed-selection subsystem (/v1/seeds). Result partitions the traffic:
+	// full (complete selection, cached answers included), partial (degraded
+	// by deadline/budget/oracle failure), shed (429 at the seeds limit) and
+	// error (invalid request, joined-call timeout or internal failure).
+	seedsRequests    *obs.CounterVec // inf2vec_seeds_requests_total{result}
+	seedsLatency     *obs.Histogram  // inf2vec_seeds_latency_seconds
+	seedsEvals       *obs.Histogram  // inf2vec_seeds_evaluations
+	seedsInFlight    *obs.Gauge      // inf2vec_seeds_inflight
+	seedsCacheHits   *obs.Counter    // inf2vec_seeds_cache_hits_total
+	seedsCacheMisses *obs.Counter    // inf2vec_seeds_cache_misses_total
+	seedsCollapsed   *obs.Counter    // inf2vec_seeds_singleflight_collapsed_total
 }
 
 // newServerMetrics builds the registry and registers every family, plus the
@@ -64,6 +76,21 @@ func newServerMetrics(start time.Time) *serverMetrics {
 			"Currently serving model; always 1, with the file path and CRC-32 as labels.",
 			"path", "crc32"),
 	}
+	m.seedsRequests = reg.Counter("inf2vec_seeds_requests_total",
+		"Seed-selection requests by result: full, partial, shed or error.", "result")
+	m.seedsLatency = reg.Histogram("inf2vec_seeds_latency_seconds",
+		"Seed-selection request latency, cache hits included.", nil).With()
+	m.seedsEvals = reg.Histogram("inf2vec_seeds_evaluations",
+		"Monte-Carlo spread evaluations spent per computed seed selection.",
+		[]float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000}).With()
+	m.seedsCacheHits = reg.Counter("inf2vec_seeds_cache_hits_total",
+		"Seed-selection requests answered from the LRU result cache.").With()
+	m.seedsCacheMisses = reg.Counter("inf2vec_seeds_cache_misses_total",
+		"Seed-selection requests that missed the LRU result cache.").With()
+	m.seedsCollapsed = reg.Counter("inf2vec_seeds_singleflight_collapsed_total",
+		"Seed-selection requests collapsed onto an identical in-flight computation.").With()
+	m.seedsInFlight = reg.Gauge("inf2vec_seeds_inflight",
+		"Seed-selection computations currently running.").With()
 	m.inFlight = reg.Gauge("inf2vec_http_inflight_requests",
 		"API requests currently admitted past the concurrency limiter.").With()
 	m.reloadLastSuccess = reg.Gauge("inf2vec_model_reload_last_success_timestamp_seconds",
@@ -115,6 +142,24 @@ type Snapshot struct {
 	Draining bool `json:"draining"`
 
 	Model ModelInfo `json:"model"`
+	// Seeds is the seed-selection subsystem's snapshot; nil when the server
+	// was started without a graph.
+	Seeds *SeedsSnapshot `json:"seeds,omitempty"`
+}
+
+// SeedsSnapshot is the /v1/seeds portion of /debug/statz. Full, Partial,
+// Shed and Errors partition answered seed requests by outcome.
+type SeedsSnapshot struct {
+	Full        int64 `json:"full"`
+	Partial     int64 `json:"partial"`
+	Shed        int64 `json:"shed"`
+	Errors      int64 `json:"errors"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Collapsed   int64 `json:"collapsed"`
+	InFlight    int64 `json:"in_flight"`
+	GraphNodes  int32 `json:"graph_nodes"`
+	GraphEdges  int64 `json:"graph_edges"`
 }
 
 // ModelInfo describes the currently-serving model.
@@ -131,7 +176,23 @@ type ModelInfo struct {
 // metrics registry.
 func (s *Server) snapshot() Snapshot {
 	m := s.model.Load()
+	var seeds *SeedsSnapshot
+	if s.seeds != nil {
+		seeds = &SeedsSnapshot{
+			Full:        int64(s.met.seedsRequests.With("full").Value()),
+			Partial:     int64(s.met.seedsRequests.With("partial").Value()),
+			Shed:        int64(s.met.seedsRequests.With("shed").Value()),
+			Errors:      int64(s.met.seedsRequests.With("error").Value()),
+			CacheHits:   int64(s.met.seedsCacheHits.Value()),
+			CacheMisses: int64(s.met.seedsCacheMisses.Value()),
+			Collapsed:   int64(s.met.seedsCollapsed.Value()),
+			InFlight:    int64(s.met.seedsInFlight.Value()),
+			GraphNodes:  s.seeds.g.NumNodes(),
+			GraphEdges:  s.seeds.g.NumEdges(),
+		}
+	}
 	return Snapshot{
+		Seeds:          seeds,
 		InFlight:       int64(s.met.inFlight.Value()),
 		Served:         int64(s.met.served.Value()),
 		Shed:           int64(s.met.shed.Value()),
