@@ -9,6 +9,7 @@
 //	experiments -quick             # reduced scale (~10x faster, noisier)
 //	experiments -svg ./figs        # additionally write Figure 6 SVG panels
 //	experiments -telemetry-out t.jsonl  # JSONL training telemetry for every run
+//	experiments -trace-out traces.jsonl # span trace of the invocation
 package main
 
 import (
@@ -37,12 +38,18 @@ func main() {
 	corpusWorkers := flag.Int("corpus-workers", 0, "corpus-generation workers (0 = GOMAXPROCS; any value yields the same corpus)")
 	svgDir := flag.String("svg", "", "directory for Figure 6 SVG panels (empty = skip)")
 	telemetryOut := flag.String("telemetry-out", "", "append one JSON training event per line to this file (all Inf2vec runs)")
+	traceFlags := obs.RegisterTraceFlags(flag.CommandLine, 1) // one-shot run: keep every trace
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Printf("experiments %s (%s)\n", obs.Version(), obs.GoVersion())
 		return
+	}
+	traceCfg, closeTrace, err := traceFlags.Config()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -53,7 +60,26 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
-	if err := runAll(ctx, *run, *quick, *seed, *workers, *corpusWorkers, *svgDir, *telemetryOut); err != nil {
+	// One root span covers the whole invocation; every training run hangs
+	// its epoch spans off it (the per-trace span cap truncates a full-scale
+	// run, recorded as dropped_spans on the trace).
+	tctx, root := obs.NewTracer(traceCfg).StartRoot(ctx, "experiments")
+	root.SetAttr("run", *run)
+	root.SetAttr("quick", *quick)
+	err = runAll(tctx, *run, *quick, *seed, *workers, *corpusWorkers, *svgDir, *telemetryOut)
+	switch {
+	case err == nil:
+		root.End()
+	case errors.Is(err, context.Canceled):
+		root.EndWith("canceled")
+	default:
+		root.EndWith("error")
+	}
+	// Close explicitly: os.Exit below would skip a defer, losing the trace.
+	if cerr := closeTrace(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted")
 		} else {

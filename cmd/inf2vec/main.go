@@ -19,9 +19,11 @@
 //
 // Observability: training progress is structured-logged to stderr
 // (-log-format, -log-level), -telemetry-out streams one JSON training event
-// per line (epoch losses, throughput, recoveries, checkpoints), and
-// -debug-addr exposes pprof and /metrics on a separate listener. Result
-// output (eval metrics, score rankings) stays on stdout.
+// per line (epoch losses, throughput, recoveries, checkpoints),
+// -trace-out records the run as a span trace (root "train" with corpus_gen
+// and per-epoch children), and -debug-addr exposes pprof, /metrics and
+// /debug/traces on a separate listener. Result output (eval metrics, score
+// rankings) stays on stdout.
 package main
 
 import (
@@ -67,7 +69,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score|version> [flags]
   train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -corpus-workers 0 -seed 1]
         [-checkpoint CKPT [-checkpoint-every N] [-resume]]
-        [-telemetry-out events.jsonl] [-log-format text|json] [-log-level info] [-debug-addr :0]
+        [-telemetry-out events.jsonl] [-trace-out traces.jsonl] [-log-format text|json] [-log-level info] [-debug-addr :0]
   eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
   score -model M -source U [-top 10] [-agg max]`)
 }
@@ -111,6 +113,7 @@ func cmdTrain(args []string) error {
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this address (e.g. localhost:6060)")
+	traceFlags := obs.RegisterTraceFlags(fs, 1) // one-shot run: keep every trace
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,8 +127,14 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	traceCfg, closeTrace, err := traceFlags.Config()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	tracer := obs.NewTracer(traceCfg)
 	if *debugAddr != "" {
-		addr, err := obs.StartDebugServer(*debugAddr, nil)
+		addr, err := obs.StartDebugServer(*debugAddr, nil, tracer)
 		if err != nil {
 			return err
 		}
@@ -174,19 +183,34 @@ func cmdTrain(args []string) error {
 		CheckpointEvery:   *ckptEvery,
 		Telemetry:         trainTelemetry(logger, sink),
 	}
+	// The root span covers the whole fit; the telemetry adapter hangs
+	// corpus_gen and per-epoch child spans off it.
+	tctx, root := tracer.StartRoot(ctx, "train")
+	root.SetAttr("episodes", train.NumEpisodes())
+	root.SetAttr("iters", *iters)
+	root.SetAttr("workers", *workers)
+	emit, closeOpen := inf2vec.TraceTelemetry(tctx, cfg.Telemetry)
+	cfg.Telemetry = emit
+	defer closeOpen()
 	var model *inf2vec.Model
 	var stats *inf2vec.TrainStats
 	if *resume {
-		model, stats, err = inf2vec.Resume(ctx, g, train, cfg)
-		if err != nil {
-			return err
-		}
-		logger.Info("resumed from checkpoint", "checkpoint", *ckptPath, "epoch", stats.StartEpoch)
+		model, stats, err = inf2vec.Resume(tctx, g, train, cfg)
 	} else {
-		model, stats, err = inf2vec.TrainWithStatsContext(ctx, g, train, cfg)
-		if err != nil {
-			return err
-		}
+		model, stats, err = inf2vec.TrainWithStatsContext(tctx, g, train, cfg)
+	}
+	closeOpen() // before the root ends, so an aborted epoch span is recorded
+	switch {
+	case err != nil:
+		root.EndWith("error")
+		return err
+	case stats.Canceled:
+		root.EndWith("canceled")
+	default:
+		root.End()
+	}
+	if *resume {
+		logger.Info("resumed from checkpoint", "checkpoint", *ckptPath, "epoch", stats.StartEpoch)
 	}
 	stop()
 	if err := model.SaveFile(*modelPath); err != nil {

@@ -12,6 +12,7 @@
 //	         [-poll 2s] [-once]
 //	         [-serve-addr :8080 | -notify-pid PID]
 //	         [-log-format text|json] [-log-level info] [-debug-addr :0]
+//	         [-trace-out traces.jsonl] [-trace-slow-ms 100] [-trace-sample 0.01]
 //
 // The process may be killed at any instant — including kill -9 — and
 // restarted: the durable cursor, the publish intent and the training
@@ -75,6 +76,7 @@ func run(args []string) error {
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this address (e.g. localhost:6060)")
+	traceFlags := obs.RegisterTraceFlags(fs, 0.01)
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +95,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	traceCfg, closeTrace, err := traceFlags.Config()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	g, err := inf2vec.ReadGraphFile(*graphPath)
 	if err != nil {
 		return err
@@ -124,6 +131,7 @@ func run(args []string) error {
 		PollInterval: *poll,
 		TrainTimeout: *trainTimeout,
 		Logger:       logger,
+		Tracer:       obs.NewTracer(traceCfg),
 	}
 	if *notifyPID != 0 {
 		pid := *notifyPID
@@ -157,12 +165,14 @@ func run(args []string) error {
 			Addr:      *serveAddr,
 			ModelPath: *modelPath,
 			Logger:    logger,
+			Trace:     traceCfg,
 		})
 		if err != nil {
 			return err
 		}
 		cfg.Notify = func(context.Context) error { return srv.Reload() }
 		cfg.Registry = srv.Metrics() // pipeline_* series on the server's /metrics
+		cfg.Tracer = srv.Tracer()    // one trace ring for requests and rounds
 	} else {
 		cfg.Registry = obs.NewRegistry()
 	}
@@ -172,7 +182,7 @@ func run(args []string) error {
 		return err
 	}
 	if *debugAddr != "" {
-		bound, err := obs.StartDebugServer(*debugAddr, cfg.Registry)
+		bound, err := obs.StartDebugServer(*debugAddr, cfg.Registry, cfg.Tracer)
 		if err != nil {
 			return err
 		}

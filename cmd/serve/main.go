@@ -22,8 +22,11 @@
 // collapsing and an LRU result cache; under a deadline or evaluation budget
 // it degrades to a best-so-far partial answer instead of failing.
 //
-// -debug-addr starts a second listener with net/http/pprof profiles and a
-// /metrics mirror, kept off the public address. -version prints build info.
+// -debug-addr starts a second listener with net/http/pprof profiles, a
+// /metrics mirror and /debug/traces, kept off the public address. Tracing is
+// tuned with -trace-sample (default 1% plus every slow request),
+// -trace-slow-ms and -trace-ring, and -trace-out streams kept traces to a
+// JSONL file. -version prints build info.
 //
 // Operational signals:
 //
@@ -65,6 +68,7 @@ func run(args []string) error {
 	seedsCache := fs.Int("seeds-cache", 128, "LRU capacity for finished seed selections")
 	seedsOffset := fs.Float64("seeds-offset", -2, "logistic-link offset mapping model scores to IC edge probabilities")
 	debugAddr := fs.String("debug-addr", "", "serve pprof and /metrics on this second address (e.g. localhost:6060)")
+	traceFlags := obs.RegisterTraceFlags(fs, 0.01)
 	logFormat := fs.String("log-format", "json", "log format: text or json")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn or error")
 	version := fs.Bool("version", false, "print version and exit")
@@ -82,6 +86,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	traceCfg, closeTrace, err := traceFlags.Config()
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
 		ModelPath:      *model,
@@ -90,6 +99,7 @@ func run(args []string) error {
 		MaxInFlight:    *maxInFlight,
 		DrainTimeout:   *drainTimeout,
 		Logger:         logger,
+		Trace:          traceCfg,
 
 		GraphPath:        *graphPath,
 		SeedsMaxInFlight: *seedsMaxInFlight,
@@ -100,7 +110,7 @@ func run(args []string) error {
 		return err
 	}
 	if *debugAddr != "" {
-		bound, err := obs.StartDebugServer(*debugAddr, s.Metrics())
+		bound, err := obs.StartDebugServer(*debugAddr, s.Metrics(), s.Tracer())
 		if err != nil {
 			return err
 		}

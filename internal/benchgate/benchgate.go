@@ -1,0 +1,184 @@
+// Package benchgate is the performance-regression gate: it compares freshly
+// measured benchmark reports (the BENCH_*.json files the bench recorder
+// tests write) against the baselines committed at the repository root and
+// fails loud when a tracked metric degrades beyond tolerance.
+//
+// Each tracked metric declares its direction — throughput metrics regress
+// when they drop, latency metrics regress when they rise — so the gate never
+// confuses "faster" with "broken". The default tolerance is 20%, overridable
+// via the INF2VEC_BENCH_TOLERANCE environment variable (a fraction, e.g.
+// "0.35"); CI machines with noisy neighbours can widen it without editing
+// code.
+//
+// The gate is wired into CI as its own leg: the bench recorders run with
+// INF2VEC_WRITE_BENCH=1 and INF2VEC_BENCH_DIR pointing at a scratch
+// directory, then TestBenchRegressionGate runs with INF2VEC_BENCH_FRESH_DIR
+// pointing at the same directory and compares against the committed files.
+package benchgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// DefaultTolerance is the allowed relative degradation before a metric is
+// flagged: fresh numbers may be up to 20% worse than the baseline.
+const DefaultTolerance = 0.20
+
+// Metric is one tracked benchmark figure.
+type Metric struct {
+	// Key is the metric's field name in the JSON report.
+	Key string
+	// HigherIsBetter declares the direction: true for throughput-style
+	// metrics (regress when they drop), false for latency-style metrics
+	// (regress when they rise).
+	HigherIsBetter bool
+}
+
+// Suite names a benchmark report file and the metrics gated in it.
+type Suite struct {
+	// File is the report's base name, e.g. "BENCH_infmax.json".
+	File    string
+	Metrics []Metric
+}
+
+// Suites is the set of gated reports. Metrics not listed here (graph sizes,
+// configuration echoes, wall-clock totals) are informational and never gate.
+var Suites = []Suite{
+	{
+		File: "BENCH_infmax.json",
+		Metrics: []Metric{
+			{Key: "evaluations_per_second", HigherIsBetter: true},
+			{Key: "seeds_p50_s", HigherIsBetter: false},
+			{Key: "seeds_p99_s", HigherIsBetter: false},
+		},
+	},
+	{
+		File: "BENCH_pipeline.json",
+		Metrics: []Metric{
+			{Key: "actions_per_second", HigherIsBetter: true},
+			{Key: "retrain_lag_p50_s", HigherIsBetter: false},
+			{Key: "retrain_lag_p99_s", HigherIsBetter: false},
+		},
+	},
+}
+
+// Regression is one metric that moved past tolerance in the losing
+// direction.
+type Regression struct {
+	File     string  `json:"file"`
+	Key      string  `json:"key"`
+	Baseline float64 `json:"baseline"`
+	Fresh    float64 `json:"fresh"`
+	// Change is the relative degradation (positive = worse), e.g. 0.35 for
+	// a 35% slowdown.
+	Change float64 `json:"change"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.1f%% (baseline %g, fresh %g)",
+		r.File, r.Key, r.Change*100, r.Baseline, r.Fresh)
+}
+
+// Tolerance returns the gate's tolerance: INF2VEC_BENCH_TOLERANCE when set
+// (a fraction), else DefaultTolerance. An unparsable or non-positive value
+// is an error rather than a silently disabled gate.
+func Tolerance() (float64, error) {
+	s := os.Getenv("INF2VEC_BENCH_TOLERANCE")
+	if s == "" {
+		return DefaultTolerance, nil
+	}
+	tol, err := strconv.ParseFloat(s, 64)
+	if err != nil || tol <= 0 {
+		return 0, fmt.Errorf("benchgate: bad INF2VEC_BENCH_TOLERANCE %q", s)
+	}
+	return tol, nil
+}
+
+// Compare checks every tracked metric of one report pair and returns the
+// regressions, sorted by severity (worst first). A tracked metric missing
+// from the fresh report is an error — a gate that silently skips a vanished
+// metric is no gate. A metric missing from the baseline is skipped: it is
+// new, and becomes gated once a baseline containing it is committed.
+func Compare(file string, baseline, fresh map[string]float64, metrics []Metric, tolerance float64) ([]Regression, error) {
+	var regs []Regression
+	for _, m := range metrics {
+		base, ok := baseline[m.Key]
+		if !ok {
+			continue
+		}
+		got, ok := fresh[m.Key]
+		if !ok {
+			return nil, fmt.Errorf("benchgate: %s: fresh report is missing tracked metric %q", file, m.Key)
+		}
+		change := degradation(base, got, m.HigherIsBetter)
+		if change > tolerance {
+			regs = append(regs, Regression{File: file, Key: m.Key, Baseline: base, Fresh: got, Change: change})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Change > regs[j].Change })
+	return regs, nil
+}
+
+// degradation returns the relative move in the losing direction (positive =
+// worse, negative = improved). A zero baseline cannot anchor a relative
+// comparison: any fresh value counts as no change, except a latency metric
+// going from zero to nonzero, which is reported as a full degradation.
+func degradation(base, fresh float64, higherIsBetter bool) float64 {
+	if base == 0 {
+		if !higherIsBetter && fresh > 0 {
+			return 1
+		}
+		return 0
+	}
+	if higherIsBetter {
+		return (base - fresh) / base
+	}
+	return (fresh - base) / base
+}
+
+// loadReport reads one BENCH_*.json file into its numeric fields; string
+// fields (benchmark name, provenance) are ignored.
+func loadReport(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return nil, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// CheckDirs runs the gate over every suite: baselines from baselineDir,
+// fresh reports from freshDir. It returns all regressions across suites; a
+// missing or unreadable report on either side is an error.
+func CheckDirs(baselineDir, freshDir string, tolerance float64) ([]Regression, error) {
+	var all []Regression
+	for _, s := range Suites {
+		base, err := loadReport(baselineDir + "/" + s.File)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: baseline: %w", err)
+		}
+		fresh, err := loadReport(freshDir + "/" + s.File)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: fresh: %w", err)
+		}
+		regs, err := Compare(s.File, base, fresh, s.Metrics, tolerance)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, regs...)
+	}
+	return all, nil
+}

@@ -1,0 +1,180 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDegradationDirections(t *testing.T) {
+	cases := []struct {
+		name           string
+		base, fresh    float64
+		higherIsBetter bool
+		want           float64
+	}{
+		{"throughput drop", 100, 70, true, 0.30},
+		{"throughput gain", 100, 150, true, -0.50},
+		{"latency rise", 0.10, 0.15, false, 0.50},
+		{"latency drop", 0.10, 0.05, false, -0.50},
+		{"zero baseline throughput", 0, 50, true, 0},
+		{"zero baseline latency rise", 0, 0.01, false, 1},
+		{"zero baseline latency flat", 0, 0, false, 0},
+	}
+	for _, c := range cases {
+		got := degradation(c.base, c.fresh, c.higherIsBetter)
+		if diff := got - c.want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: degradation = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	metrics := []Metric{
+		{Key: "throughput", HigherIsBetter: true},
+		{Key: "p99", HigherIsBetter: false},
+	}
+	base := map[string]float64{"throughput": 1000, "p99": 0.100}
+
+	// Within tolerance (both 10% worse): clean.
+	regs, err := Compare("x.json", base,
+		map[string]float64{"throughput": 900, "p99": 0.110}, metrics, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+
+	// Improvements, however large, never flag.
+	regs, err = Compare("x.json", base,
+		map[string]float64{"throughput": 5000, "p99": 0.001}, metrics, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+
+	// Past tolerance in the losing direction: both flag, worst first.
+	regs, err = Compare("x.json", base,
+		map[string]float64{"throughput": 700, "p99": 0.200}, metrics, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Key != "p99" || regs[1].Key != "throughput" {
+		t.Fatalf("regressions not sorted worst-first: %v", regs)
+	}
+	if regs[0].Change < 0.99 || regs[0].Change > 1.01 {
+		t.Fatalf("p99 change = %v, want ~1.0", regs[0].Change)
+	}
+}
+
+func TestCompareMissingMetrics(t *testing.T) {
+	metrics := []Metric{{Key: "throughput", HigherIsBetter: true}}
+	// Missing from fresh: hard error, never a silent pass.
+	if _, err := Compare("x.json", map[string]float64{"throughput": 100},
+		map[string]float64{}, metrics, 0.20); err == nil {
+		t.Fatal("missing fresh metric did not error")
+	}
+	// Missing from baseline: new metric, skipped.
+	regs, err := Compare("x.json", map[string]float64{},
+		map[string]float64{"throughput": 100}, metrics, 0.20)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("new metric not skipped: regs=%v err=%v", regs, err)
+	}
+}
+
+func TestToleranceEnvOverride(t *testing.T) {
+	t.Setenv("INF2VEC_BENCH_TOLERANCE", "")
+	if tol, err := Tolerance(); err != nil || tol != DefaultTolerance {
+		t.Fatalf("default tolerance = %v, %v", tol, err)
+	}
+	t.Setenv("INF2VEC_BENCH_TOLERANCE", "0.35")
+	if tol, err := Tolerance(); err != nil || tol != 0.35 {
+		t.Fatalf("override tolerance = %v, %v", tol, err)
+	}
+	for _, bad := range []string{"nope", "0", "-1"} {
+		t.Setenv("INF2VEC_BENCH_TOLERANCE", bad)
+		if _, err := Tolerance(); err == nil {
+			t.Fatalf("tolerance %q accepted", bad)
+		}
+	}
+}
+
+func writeReport(t *testing.T, dir, file, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, file), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirsEndToEnd(t *testing.T) {
+	baseDir, freshDir := t.TempDir(), t.TempDir()
+	writeReport(t, baseDir, "BENCH_infmax.json",
+		`{"evaluations_per_second": 8000, "seeds_p50_s": 0.017, "seeds_p99_s": 0.018, "benchmark": "infmax_celf"}`)
+	writeReport(t, baseDir, "BENCH_pipeline.json",
+		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
+
+	// Fresh run: everything slightly better or equal — clean.
+	writeReport(t, freshDir, "BENCH_infmax.json",
+		`{"evaluations_per_second": 8100, "seeds_p50_s": 0.016, "seeds_p99_s": 0.018}`)
+	writeReport(t, freshDir, "BENCH_pipeline.json",
+		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
+	regs, err := CheckDirs(baseDir, freshDir, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+
+	// A 50% CELF slowdown must flag exactly once.
+	writeReport(t, freshDir, "BENCH_infmax.json",
+		`{"evaluations_per_second": 4000, "seeds_p50_s": 0.017, "seeds_p99_s": 0.018}`)
+	regs, err = CheckDirs(baseDir, freshDir, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Key != "evaluations_per_second" {
+		t.Fatalf("regressions = %v, want one evaluations_per_second", regs)
+	}
+
+	// A missing fresh report is an error, not a pass.
+	if err := os.Remove(filepath.Join(freshDir, "BENCH_pipeline.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckDirs(baseDir, freshDir, 0.20); err == nil {
+		t.Fatal("missing fresh report did not error")
+	}
+}
+
+// TestBenchRegressionGate is the CI gate leg. It is armed by pointing
+// INF2VEC_BENCH_FRESH_DIR at a directory holding freshly generated
+// BENCH_*.json reports (written by the bench recorder tests with
+// INF2VEC_WRITE_BENCH=1 INF2VEC_BENCH_DIR=<dir>); it compares them against
+// the baselines committed at the repository root and fails on any tracked
+// metric more than the tolerance worse.
+func TestBenchRegressionGate(t *testing.T) {
+	freshDir := os.Getenv("INF2VEC_BENCH_FRESH_DIR")
+	if freshDir == "" {
+		t.Skip("gate disarmed; set INF2VEC_BENCH_FRESH_DIR to a directory of fresh BENCH_*.json reports")
+	}
+	tol, err := Tolerance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := CheckDirs(filepath.Join("..", ".."), freshDir, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		t.Error(r.String())
+	}
+	if len(regs) == 0 {
+		t.Logf("no regressions past %.0f%% across %d suites", tol*100, len(Suites))
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+
+	"inf2vec/internal/obs"
+)
+
+// TraceTelemetry adapts the training telemetry stream into trace spans: the
+// corpus-generation phase and each epoch become child spans of ctx's current
+// span (carrying loss and examples/sec attrs), while checkpoint writes and
+// divergence recoveries become span events on the parent. The original
+// telemetry wire format is untouched — events flow through to inner (which
+// may be nil) exactly as emitted, so JSONL sinks and the pipeline's
+// crash-point hooks keep working unchanged.
+//
+// It returns the wrapped telemetry func and a closeOpen func that ends any
+// span still open; callers must defer closeOpen so a mid-training panic or
+// cancellation (the pipeline's crash matrix) cannot leak an open span into
+// the trace. Both returned funcs must be called from the training goroutine
+// (events are delivered synchronously, so this is the natural contract).
+//
+// When ctx carries no span, the inner telemetry is returned as-is and
+// closeOpen is a no-op — tracing stays free when disabled.
+func TraceTelemetry(ctx context.Context, inner func(Event)) (func(Event), func()) {
+	parent := obs.SpanFromContext(ctx)
+	if parent == nil {
+		if inner == nil {
+			inner = func(Event) {}
+		}
+		return inner, func() {}
+	}
+	var corpus, epoch *obs.Span
+	closeOpen := func() {
+		// Ends spans a crash or cancellation left open; normal completion
+		// leaves nothing for it to do.
+		if epoch != nil {
+			epoch.SetStatus("aborted")
+			epoch.End()
+			epoch = nil
+		}
+		if corpus != nil {
+			corpus.SetStatus("aborted")
+			corpus.End()
+			corpus = nil
+		}
+	}
+	emit := func(e Event) {
+		switch e.Kind {
+		case EventCorpusProgress:
+			if corpus == nil {
+				_, corpus = obs.StartSpan(ctx, "corpus_gen")
+				corpus.SetAttr("episodes_total", e.EpisodesTotal)
+				corpus.SetAttr("workers", e.CorpusWorkers)
+			}
+			if e.EpisodesTotal > 0 && e.EpisodesDone >= e.EpisodesTotal {
+				corpus.SetAttr("episodes_per_sec", e.EpisodesPerSec)
+				corpus.End()
+				corpus = nil
+			}
+		case EventEpochStart:
+			epoch.End() // defensive: a missing epoch_end must not leak a span
+			_, epoch = obs.StartSpan(ctx, "epoch")
+			epoch.SetAttr("epoch", e.Epoch)
+			epoch.SetAttr("lr", e.LearningRate)
+		case EventEpochEnd:
+			if epoch != nil {
+				epoch.SetAttr("loss", e.Loss)
+				epoch.SetAttr("examples_per_sec", e.ExamplesPerSec)
+				epoch.End()
+				epoch = nil
+			}
+		case EventDivergenceRecovery:
+			parent.Event("divergence_recovery", map[string]any{
+				"lr_scale": e.LRScale, "reinit": e.Reinit,
+			})
+		case EventCheckpointWritten:
+			parent.Event("checkpoint_written", map[string]any{"path": e.CheckpointPath})
+		case EventTrainEnd:
+			// A cancellation can end the run between epoch_start and
+			// epoch_end; close what is open with the right status.
+			if epoch != nil {
+				if e.Canceled {
+					epoch.SetStatus("canceled")
+				}
+				epoch.End()
+				epoch = nil
+			}
+			if corpus != nil {
+				if e.Canceled {
+					corpus.SetStatus("canceled")
+				}
+				corpus.End()
+				corpus = nil
+			}
+		}
+		if inner != nil {
+			inner(e)
+		}
+	}
+	return emit, closeOpen
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"inf2vec/internal/obs"
+)
+
+func tracedCtx(t *testing.T) (*obs.Tracer, context.Context, *obs.Span) {
+	t.Helper()
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, SlowThreshold: -1})
+	ctx, root := tracer.StartRoot(context.Background(), "train")
+	return tracer, ctx, root
+}
+
+func traceSpans(t *testing.T, tracer *obs.Tracer) []obs.SpanRecord {
+	t.Helper()
+	traces := tracer.Traces(obs.TraceFilter{Root: "train"})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	return traces[0].Spans
+}
+
+// TestTraceTelemetryBuildsSpans feeds the adapter a complete training event
+// stream and asserts the trace it builds: one corpus_gen span, one epoch
+// span per epoch (with loss attrs), checkpoint/divergence span events on
+// the parent — with the original events forwarded to the inner sink intact.
+func TestTraceTelemetryBuildsSpans(t *testing.T) {
+	tracer, ctx, root := tracedCtx(t)
+	var inner []Event
+	emit, closeOpen := TraceTelemetry(ctx, func(e Event) { inner = append(inner, e) })
+
+	stream := []Event{
+		{Kind: EventCorpusProgress, EpisodesDone: 0, EpisodesTotal: 2, CorpusWorkers: 1},
+		{Kind: EventCorpusProgress, EpisodesDone: 2, EpisodesTotal: 2, EpisodesPerSec: 50},
+		{Kind: EventTrainStart, Epochs: 2},
+		{Kind: EventEpochStart, Epoch: 1, LearningRate: 0.1},
+		{Kind: EventCheckpointWritten, CheckpointPath: "m.ckpt"},
+		{Kind: EventEpochEnd, Epoch: 1, Loss: -1.5, ExamplesPerSec: 100},
+		{Kind: EventEpochStart, Epoch: 2, LearningRate: 0.05},
+		{Kind: EventDivergenceRecovery, LRScale: 0.5},
+		{Kind: EventEpochEnd, Epoch: 2, Loss: -1.0, ExamplesPerSec: 90},
+		{Kind: EventTrainEnd, Epochs: 2},
+	}
+	for _, e := range stream {
+		emit(e)
+	}
+	closeOpen()
+	root.End()
+
+	if len(inner) != len(stream) {
+		t.Fatalf("inner sink got %d events, want %d", len(inner), len(stream))
+	}
+	for i := range stream {
+		if inner[i].Kind != stream[i].Kind {
+			t.Fatalf("inner event %d = %s, want %s", i, inner[i].Kind, stream[i].Kind)
+		}
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open", open)
+	}
+
+	var corpus, epochs, events int
+	for _, s := range traceSpans(t, tracer) {
+		switch s.Name {
+		case "corpus_gen":
+			corpus++
+			if s.Attrs["episodes_total"] != 2 || s.Attrs["episodes_per_sec"] != 50.0 {
+				t.Fatalf("corpus span attrs = %v", s.Attrs)
+			}
+			if s.Status != "" {
+				t.Fatalf("corpus span status = %q", s.Status)
+			}
+		case "epoch":
+			epochs++
+			if _, ok := s.Attrs["loss"]; !ok {
+				t.Fatalf("epoch span missing loss: %v", s.Attrs)
+			}
+		case "train":
+			events = len(s.Events)
+		}
+	}
+	if corpus != 1 || epochs != 2 {
+		t.Fatalf("corpus=%d epochs=%d, want 1 and 2", corpus, epochs)
+	}
+	if events != 2 {
+		t.Fatalf("parent carries %d span events, want 2 (checkpoint + divergence)", events)
+	}
+}
+
+// TestTraceTelemetryCanceledAndAborted covers the two abnormal closings: a
+// canceled train_end marks the in-flight epoch span canceled, and closeOpen
+// (the crash-path defer) marks anything still open aborted.
+func TestTraceTelemetryCanceledAndAborted(t *testing.T) {
+	tracer, ctx, root := tracedCtx(t)
+	emit, closeOpen := TraceTelemetry(ctx, nil)
+	emit(Event{Kind: EventEpochStart, Epoch: 1})
+	emit(Event{Kind: EventTrainEnd, Epochs: 0, Canceled: true})
+	closeOpen()
+	root.End()
+	for _, s := range traceSpans(t, tracer) {
+		if s.Name == "epoch" && s.Status != "canceled" {
+			t.Fatalf("canceled epoch span status = %q", s.Status)
+		}
+	}
+
+	tracer2, ctx2, root2 := tracedCtx(t)
+	emit2, closeOpen2 := TraceTelemetry(ctx2, nil)
+	emit2(Event{Kind: EventCorpusProgress, EpisodesDone: 0, EpisodesTotal: 10})
+	emit2(Event{Kind: EventEpochStart, Epoch: 1})
+	// A crash unwinds here: no train_end, only the deferred closeOpen.
+	closeOpen2()
+	root2.End()
+	if open := tracer2.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans leaked past closeOpen", open)
+	}
+	aborted := 0
+	for _, s := range traceSpans(t, tracer2) {
+		if s.Status == "aborted" {
+			aborted++
+		}
+	}
+	if aborted != 2 {
+		t.Fatalf("%d aborted spans, want 2 (corpus + epoch)", aborted)
+	}
+}
+
+// TestTraceTelemetryWithoutSpanIsPassThrough asserts the adapter costs
+// nothing when ctx carries no span: the inner sink is returned unchanged in
+// behavior and closeOpen is a no-op.
+func TestTraceTelemetryWithoutSpanIsPassThrough(t *testing.T) {
+	var got []EventKind
+	emit, closeOpen := TraceTelemetry(context.Background(), func(e Event) { got = append(got, e.Kind) })
+	emit(Event{Kind: EventEpochStart, Epoch: 1})
+	closeOpen()
+	if len(got) != 1 || got[0] != EventEpochStart {
+		t.Fatalf("pass-through events = %v", got)
+	}
+	// Nil inner must still yield callable funcs.
+	emit2, closeOpen2 := TraceTelemetry(context.Background(), nil)
+	emit2(Event{Kind: EventTrainEnd})
+	closeOpen2()
+}

@@ -112,7 +112,14 @@ func TestRecordInfmaxBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("..", "..", "BENCH_infmax.json")
+	// INF2VEC_BENCH_DIR redirects the report (the CI regression gate writes
+	// fresh numbers to a scratch dir and compares them against the committed
+	// baselines); default is the repository root.
+	benchDir := os.Getenv("INF2VEC_BENCH_DIR")
+	if benchDir == "" {
+		benchDir = filepath.Join("..", "..")
+	}
+	path := filepath.Join(benchDir, "BENCH_infmax.json")
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -75,13 +75,18 @@ type Config struct {
 	Hooks Hooks
 }
 
-// Hooks is the fault-injection seam: BeforeEval runs before every spread
-// evaluation with the evaluation index (0-based) and the seed set about to
-// be evaluated. Returning an error stops the run with the seeds selected so
-// far (Result.Partial, StopOracle). Tests use it to fail evaluation N, to
-// stall (slow oracle) or to cancel the context at evaluation N.
+// Hooks is the observation and fault-injection seam. BeforeEval runs before
+// every spread evaluation with the evaluation index (0-based) and the seed
+// set about to be evaluated; returning an error stops the run with the seeds
+// selected so far (Result.Partial, StopOracle). Tests use it to fail
+// evaluation N, to stall (slow oracle) or to cancel the context at
+// evaluation N; the serving layer uses it to checkpoint evaluation progress
+// into trace spans. OnSelect fires each time a seed is committed to the
+// result, with its estimated cumulative spread and the evaluations spent so
+// far — span-event material, never a control-flow hook.
 type Hooks struct {
 	BeforeEval func(eval int, seeds []int32) error
+	OnSelect   func(seed int32, spread float64, evaluations int)
 }
 
 // Result is the selected seed set with its estimated spread trajectory.
@@ -257,6 +262,9 @@ func Greedy(ctx context.Context, g *graph.Graph, probs ic.EdgeProber, cfg Config
 			res.Seeds = append(res.Seeds, top.user)
 			current += top.gain
 			res.Spread = append(res.Spread, current)
+			if cfg.Hooks.OnSelect != nil {
+				cfg.Hooks.OnSelect(top.user, current, res.Evaluations)
+			}
 			continue
 		}
 		// Stale: re-evaluate the marginal gain against the current set.

@@ -262,6 +262,56 @@ func TestFaultCancelAtEvaluationN(t *testing.T) {
 	}
 }
 
+// TestOnSelectHookObservesEverySelection asserts OnSelect fires once per
+// chosen seed, in selection order, with the cumulative spread and evaluation
+// count at that moment — and that it is pure observation: the result is
+// identical to a run without the hook.
+func TestOnSelectHookObservesEverySelection(t *testing.T) {
+	g := twoStars(t)
+	cfg := Config{Seeds: 3, MonteCarloRuns: 25, Seed: 29}
+	plain := run(t, g, cfg)
+
+	type selection struct {
+		seed  int32
+		total float64
+		evals int
+	}
+	var selections []selection
+	hcfg := cfg
+	hcfg.Hooks.OnSelect = func(seed int32, spread float64, evaluations int) {
+		selections = append(selections, selection{seed, spread, evaluations})
+	}
+	res := run(t, g, hcfg)
+
+	if len(selections) != len(res.Seeds) {
+		t.Fatalf("OnSelect fired %d times for %d seeds", len(selections), len(res.Seeds))
+	}
+	for i, sel := range selections {
+		if sel.seed != res.Seeds[i] {
+			t.Fatalf("selection %d: hook saw seed %d, result has %d", i, sel.seed, res.Seeds[i])
+		}
+		if sel.total != res.Spread[i] {
+			t.Fatalf("selection %d: hook saw spread %v, result has %v", i, sel.total, res.Spread[i])
+		}
+		if sel.evals <= 0 || sel.evals > res.Evaluations {
+			t.Fatalf("selection %d: implausible evaluation count %d (total %d)", i, sel.evals, res.Evaluations)
+		}
+	}
+	for i := 1; i < len(selections); i++ {
+		if selections[i].evals < selections[i-1].evals {
+			t.Fatalf("evaluation counts not monotone: %v", selections)
+		}
+	}
+	if len(res.Seeds) != len(plain.Seeds) {
+		t.Fatalf("hook changed the selection: %v vs %v", res.Seeds, plain.Seeds)
+	}
+	for i := range res.Seeds {
+		if res.Seeds[i] != plain.Seeds[i] || res.Spread[i] != plain.Spread[i] {
+			t.Fatalf("hook changed the selection: %v/%v vs %v/%v", res.Seeds, res.Spread, plain.Seeds, plain.Spread)
+		}
+	}
+}
+
 // TestFaultOracleFailureAtEvaluationN injects an oracle failure at every
 // evaluation index; each run must degrade to a flagged valid prefix.
 func TestFaultOracleFailureAtEvaluationN(t *testing.T) {

@@ -22,11 +22,12 @@ func DebugMux() *http.ServeMux {
 }
 
 // StartDebugServer starts the opt-in debug listener on addr in the
-// background, serving pprof and — when reg is non-nil — the registry at
-// /metrics. It returns the bound address (useful with ":0"). The listener
-// lives for the rest of the process: debug servers are enabled explicitly
-// and torn down with the process, so no shutdown plumbing is offered.
-func StartDebugServer(addr string, reg *Registry) (string, error) {
+// background, serving pprof, — when reg is non-nil — the registry at
+// /metrics, and — when tracer is non-nil — recent traces at /debug/traces.
+// It returns the bound address (useful with ":0"). The listener lives for
+// the rest of the process: debug servers are enabled explicitly and torn
+// down with the process, so no shutdown plumbing is offered.
+func StartDebugServer(addr string, reg *Registry, tracer *Tracer) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("obs: debug listener: %w", err)
@@ -34,6 +35,9 @@ func StartDebugServer(addr string, reg *Registry) (string, error) {
 	mux := DebugMux()
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
+	}
+	if tracer != nil {
+		mux.Handle("/debug/traces", tracer.TracesHandler())
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()

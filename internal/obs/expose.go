@@ -18,6 +18,19 @@ const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 // # HELP and # TYPE lines, series sorted by label values, histograms
 // expanded into cumulative _bucket series plus _sum and _count.
 func (r *Registry) WriteText(w io.Writer) error {
+	return r.writeText(w, false)
+}
+
+// WriteTextExemplars renders like WriteText but appends OpenMetrics-style
+// exemplars (" # {trace_id=\"...\"} value timestamp") to histogram bucket
+// lines that have one. This is opt-in (the /metrics handler requires
+// ?exemplars=1) because classic Prometheus 0.0.4 parsers may reject the
+// suffix.
+func (r *Registry) WriteTextExemplars(w io.Writer) error {
+	return r.writeText(w, true)
+}
+
+func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
@@ -47,20 +60,20 @@ func (r *Registry) WriteText(w io.Writer) error {
 		for _, s := range f.sortedSeries() {
 			switch f.typ {
 			case counterType:
-				writeSample(bw, f.name, f.labels, s.labelValues, "", "", strconv.FormatUint(s.c.Value(), 10))
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", strconv.FormatUint(s.c.Value(), 10), "")
 			case gaugeType:
-				writeSample(bw, f.name, f.labels, s.labelValues, "", "", formatFloat(s.g.Value()))
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", formatFloat(s.g.Value()), "")
 			case histogramType:
 				counts := s.h.snapshotBuckets()
 				cum := uint64(0)
 				for i, upper := range s.h.uppers {
 					cum += counts[i]
-					writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(upper), strconv.FormatUint(cum, 10))
+					writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(upper), strconv.FormatUint(cum, 10), exemplarSuffix(s.h, i, exemplars))
 				}
 				cum += counts[len(counts)-1]
-				writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", strconv.FormatUint(cum, 10))
-				writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(s.h.Sum()))
-				writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatUint(s.h.Count(), 10))
+				writeSample(bw, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", strconv.FormatUint(cum, 10), exemplarSuffix(s.h, len(s.h.uppers), exemplars))
+				writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(s.h.Sum()), "")
+				writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatUint(s.h.Count(), 10), "")
 			}
 		}
 	}
@@ -68,18 +81,40 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // Handler returns an http.Handler serving WriteText — the /metrics endpoint.
+// Requests carrying ?exemplars=1 additionally get OpenMetrics exemplars on
+// histogram bucket lines.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", TextContentType)
 		// Past the header there is no way to signal a write error; the
 		// registry itself cannot fail to render.
+		if req.URL.Query().Get("exemplars") == "1" {
+			_ = r.WriteTextExemplars(w)
+			return
+		}
 		_ = r.WriteText(w)
 	})
 }
 
+// exemplarSuffix renders bucket i's exemplar as an OpenMetrics suffix
+// (" # {trace_id=\"...\"} value timestamp"), or "" when exemplars are off or
+// the bucket has none.
+func exemplarSuffix(h *Histogram, i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	e := h.exemplarAt(i)
+	if e == nil {
+		return ""
+	}
+	ts := float64(e.Time.UnixNano()) / 1e9
+	return ` # {trace_id="` + escapeLabel(e.TraceID) + `"} ` + formatFloat(e.Value) + " " + strconv.FormatFloat(ts, 'f', 3, 64)
+}
+
 // writeSample emits one exposition line: name{labels...} value. extraName,
-// when non-empty, appends one more label (the histogram "le" bound).
-func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, sample string) {
+// when non-empty, appends one more label (the histogram "le" bound); suffix,
+// when non-empty, is appended verbatim before the newline (exemplars).
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, sample, suffix string) {
 	bw.WriteString(name)
 	if len(labels) > 0 || extraName != "" {
 		bw.WriteByte('{')
@@ -105,6 +140,9 @@ func writeSample(bw *bufio.Writer, name string, labels, values []string, extraNa
 	}
 	bw.WriteByte(' ')
 	bw.WriteString(sample)
+	if suffix != "" {
+		bw.WriteString(suffix)
+	}
 	bw.WriteByte('\n')
 }
 

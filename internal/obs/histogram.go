@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default histogram upper bounds, in seconds, spanning
@@ -38,14 +39,31 @@ func normalizeBuckets(buckets []float64) []float64 {
 // Quantile) see a statistically — not transactionally — consistent snapshot,
 // which is the standard monitoring trade-off.
 type Histogram struct {
-	uppers []float64       // sorted finite upper bounds
-	counts []atomic.Uint64 // len(uppers)+1; the last is the +Inf bucket
-	count  atomic.Uint64
-	sum    atomicFloat
+	uppers    []float64       // sorted finite upper bounds
+	counts    []atomic.Uint64 // len(uppers)+1; the last is the +Inf bucket
+	count     atomic.Uint64
+	sum       atomicFloat
+	exemplars []atomic.Pointer[Exemplar] // len(uppers)+1, parallel to counts
 }
 
 func newHistogram(uppers []float64) *Histogram {
-	return &Histogram{uppers: uppers, counts: make([]atomic.Uint64, len(uppers)+1)}
+	return &Histogram{
+		uppers:    uppers,
+		counts:    make([]atomic.Uint64, len(uppers)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uppers)+1),
+	}
+}
+
+// Exemplar links one observed histogram value to the trace that produced it:
+// each bucket remembers the most recent traced observation that landed in
+// it, so a latency blip in a bucket can be followed to a captured trace.
+type Exemplar struct {
+	// LE is the bucket's upper bound as rendered in the exposition
+	// ("+Inf" for the overflow bucket).
+	LE      string    `json:"le"`
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
 }
 
 // Observe records v into its bucket (Prometheus le semantics: the first
@@ -55,6 +73,43 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty,
+// makes (traceID, v) the bucket's exemplar. The exemplar store is a single
+// atomic pointer swap, so the hot path stays lock-free.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{LE: h.bucketLE(i), TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// bucketLE renders bucket i's upper bound the way the exposition format
+// spells it.
+func (h *Histogram) bucketLE(i int) string {
+	if i >= len(h.uppers) {
+		return "+Inf"
+	}
+	return formatFloat(h.uppers[i])
+}
+
+// exemplarAt returns bucket i's exemplar, or nil.
+func (h *Histogram) exemplarAt(i int) *Exemplar { return h.exemplars[i].Load() }
+
+// Exemplars snapshots the buckets that currently hold an exemplar, in bucket
+// order — the /debug/statz view of trace/metric correlation.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.

@@ -269,3 +269,12 @@ type HistogramVec struct{ f *family }
 // With returns the histogram for the given label values, creating it on
 // first use.
 func (v *HistogramVec) With(labelValues ...string) *Histogram { return v.f.with(labelValues).h }
+
+// EachSeries calls fn for every materialized series of the family, ordered
+// by label values. Read-only: unlike With it never creates a series, so
+// snapshot paths can enumerate without minting empty series.
+func (v *HistogramVec) EachSeries(fn func(labelValues []string, h *Histogram)) {
+	for _, s := range v.f.sortedSeries() {
+		fn(s.labelValues, s.h)
+	}
+}

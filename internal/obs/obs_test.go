@@ -348,11 +348,12 @@ func TestVersionNonEmpty(t *testing.T) {
 func TestDebugServer(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("x_total", "X.").With().Inc()
-	addr, err := StartDebugServer("127.0.0.1:0", reg)
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	addr, err := StartDebugServer("127.0.0.1:0", reg, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{"/debug/pprof/", "/metrics"} {
+	for _, path := range []string{"/debug/pprof/", "/metrics", "/debug/traces"} {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime health gauges: goroutine count, heap bytes, GC pause p99 and
+// GOMAXPROCS, polled from runtime/metrics lazily on scrape (with a short
+// cache so a burst of scrapes costs one metrics.Read). They exist so a
+// latency spike seen in a trace can be correlated with GC or scheduler
+// pressure in the same dashboard.
+
+// RuntimeStats is a point-in-time snapshot of process health, embedded in
+// /debug/statz.
+type RuntimeStats struct {
+	Goroutines  int     `json:"goroutines"`
+	HeapBytes   uint64  `json:"heap_bytes"`
+	GCPauseP99S float64 `json:"gc_pause_p99_seconds"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+}
+
+// runtimeSampler caches runtime/metrics reads for a short interval.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+	snap    RuntimeStats
+}
+
+// gcPauseMetrics lists GC pause histogram names newest-first; the sampler
+// uses the first one the running toolchain supports.
+var gcPauseMetrics = []string{
+	"/sched/pauses/total/gc:seconds", // Go 1.22+
+	"/gc/pauses:seconds",             // older spelling, kept as fallback
+}
+
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// sharedRuntimeSampler is the process-wide sampler: every registry and the
+// statz snapshot read through it, so concurrent scrapes share one
+// metrics.Read per cache interval.
+var sharedRuntimeSampler = &runtimeSampler{}
+
+// runtimeCacheTTL bounds how stale a scrape may be; scrapes inside the
+// window are free.
+const runtimeCacheTTL = time.Second
+
+// stats returns the cached snapshot, refreshing it when stale.
+func (s *runtimeSampler) stats() RuntimeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); s.last.IsZero() || now.Sub(s.last) >= runtimeCacheTTL {
+		s.refreshLocked()
+		s.last = now
+	}
+	return s.snap
+}
+
+func (s *runtimeSampler) refreshLocked() {
+	if s.samples == nil {
+		s.samples = []metrics.Sample{{Name: heapMetric}}
+		for _, name := range gcPauseMetrics {
+			s.samples = append(s.samples, metrics.Sample{Name: name})
+		}
+	}
+	metrics.Read(s.samples)
+	s.snap = RuntimeStats{
+		Goroutines: runtime.NumGoroutine(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if s.samples[0].Value.Kind() == metrics.KindUint64 {
+		s.snap.HeapBytes = s.samples[0].Value.Uint64()
+	}
+	for _, sm := range s.samples[1:] {
+		if sm.Value.Kind() == metrics.KindFloat64Histogram {
+			s.snap.GCPauseP99S = histogramQuantile(sm.Value.Float64Histogram(), 0.99)
+			break
+		}
+	}
+}
+
+// histogramQuantile estimates quantile q from a runtime/metrics histogram,
+// returning the upper boundary of the bucket containing the target rank
+// (clamped to the largest finite boundary). Zero for an empty histogram.
+func histogramQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, 1) {
+				upper = h.Buckets[i]
+			}
+			if math.IsInf(upper, -1) {
+				return 0
+			}
+			return upper
+		}
+	}
+	return 0
+}
+
+// RuntimeSnapshot returns the current (cached) runtime health stats.
+func RuntimeSnapshot() RuntimeStats { return sharedRuntimeSampler.stats() }
+
+// RegisterRuntimeMetrics registers the runtime health gauges on reg:
+// inf2vec_runtime_goroutines, inf2vec_runtime_heap_bytes,
+// inf2vec_runtime_gc_pause_p99_seconds and inf2vec_runtime_gomaxprocs.
+// Values are computed at scrape time through the shared cached sampler.
+// Calling it twice on the same registry is a no-op.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("inf2vec_runtime_goroutines", "Current number of goroutines.", func() float64 {
+		return float64(RuntimeSnapshot().Goroutines)
+	})
+	reg.GaugeFunc("inf2vec_runtime_heap_bytes", "Bytes of live heap objects.", func() float64 {
+		return float64(RuntimeSnapshot().HeapBytes)
+	})
+	reg.GaugeFunc("inf2vec_runtime_gc_pause_p99_seconds", "p99 of stop-the-world GC pauses over the process lifetime.", func() float64 {
+		return RuntimeSnapshot().GCPauseP99S
+	})
+	reg.GaugeFunc("inf2vec_runtime_gomaxprocs", "Effective GOMAXPROCS.", func() float64 {
+		return float64(RuntimeSnapshot().GOMAXPROCS)
+	})
+}

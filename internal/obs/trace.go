@@ -1,0 +1,890 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the repository's stdlib-only distributed-tracing kit: a
+// Tracer producing hierarchical spans, W3C traceparent propagation, a
+// bounded in-memory ring of recent traces (served at /debug/traces by the
+// serving layer), a JSONL trace sink, and tail-based sampling — traces whose
+// root span exceeds a configurable slow threshold are always kept, the rest
+// are kept with a deterministic probability derived from the trace ID.
+//
+// Spans are cheap (a few small allocations on start/end) and safe for
+// concurrent use; a nil *Span and a nil *Tracer are inert, so instrumented
+// code never needs to guard against tracing being disabled.
+
+// TraceID is a 128-bit W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is a 64-bit W3C span identifier.
+type SpanID [8]byte
+
+// idState drives ID generation: a splitmix64 sequence over an atomic
+// counter, seeded once from crypto/rand at startup. Trace and span IDs need
+// global uniqueness, not unpredictability, and they are minted on the
+// request hot path (one trace ID plus one span ID per request, one span ID
+// per child span) — a crypto/rand read per ID is a getrandom syscall that
+// measurably taxes /v1/score p50, while an atomic add plus a mix is a few
+// nanoseconds and the random seed still makes collisions across processes
+// as unlikely as the 64/128-bit space allows.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; fall back to a
+		// time-derived seed rather than panicking at startup.
+		binary.BigEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
+	}
+	idState.Store(binary.BigEndian.Uint64(seed[:]))
+}
+
+// nextID64 returns the next splitmix64 output; outputs are uniform over
+// uint64, which the tail sampler relies on.
+func nextID64() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID returns a random non-zero trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], nextID64())
+		binary.BigEndian.PutUint64(id[8:], nextID64())
+	}
+	return id
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], nextID64())
+	}
+	return id
+}
+
+// IsZero reports whether the ID is all zero (invalid per W3C trace-context).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String returns the 32-character lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is all zero (invalid per W3C trace-context).
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 16-character lowercase hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// TraceParent is a parsed W3C traceparent header.
+type TraceParent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// ParseTraceparent parses a W3C traceparent header
+// (version-traceid-parentid-flags, e.g.
+// "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"). It returns
+// ok=false for anything unusable: wrong shape, non-hex bytes, uppercase hex
+// (the spec requires lowercase), the forbidden version 0xff, or all-zero
+// trace/span IDs. Unknown future versions are accepted as long as the known
+// prefix parses, per the spec's forward-compatibility rule.
+func ParseTraceparent(s string) (TraceParent, bool) {
+	var tp TraceParent
+	if len(s) < 55 {
+		return tp, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, false
+	}
+	ver, ok := hexByte(s[0:2])
+	if !ok || ver == 0xff {
+		return tp, false
+	}
+	if ver == 0 && len(s) != 55 {
+		return tp, false
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return tp, false
+	}
+	if !decodeLowerHex(tp.TraceID[:], s[3:35]) || !decodeLowerHex(tp.SpanID[:], s[36:52]) {
+		return tp, false
+	}
+	flags, ok := hexByte(s[53:55])
+	if !ok {
+		return tp, false
+	}
+	tp.Flags = flags
+	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return tp, false
+	}
+	return tp, true
+}
+
+// FormatTraceparent renders a version-00 traceparent with the sampled flag
+// set — the header the serving layer echoes so clients can join their logs
+// to a captured trace.
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	return "00-" + tid.String() + "-" + sid.String() + "-01"
+}
+
+// hexByte decodes exactly two lowercase hex digits.
+func hexByte(s string) (byte, bool) {
+	var b [1]byte
+	if !decodeLowerHex(b[:], s) {
+		return 0, false
+	}
+	return b[0], true
+}
+
+// decodeLowerHex decodes src (lowercase hex only, per the W3C spec) into dst.
+func decodeLowerHex(dst []byte, src string) bool {
+	if len(src) != 2*len(dst) {
+		return false
+	}
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	_, err := hex.Decode(dst, []byte(src))
+	return err == nil
+}
+
+// Memory bounds: one trace keeps at most maxSpansPerTrace completed spans and
+// each span at most maxEventsPerSpan events; excess is counted, not stored,
+// so a pathological request (e.g. a huge CELF evaluation budget) cannot grow
+// a trace without bound. The ring then bounds trace count, so worst-case
+// tracer memory is RingSize × maxSpansPerTrace spans.
+const (
+	maxSpansPerTrace = 512
+	maxEventsPerSpan = 64
+)
+
+// TracerConfig parameterizes a Tracer. The zero value is a production-safe
+// default: tracing on, keep only traces slower than 100ms plus none of the
+// rest, ring of 256 traces, no sink.
+type TracerConfig struct {
+	// Disabled turns span collection off entirely: StartTrace/StartSpan
+	// return nil spans and no memory is retained.
+	Disabled bool
+	// SlowThreshold is the tail-based keep bound: a trace whose root span
+	// runs at least this long is always kept. Zero selects 100ms; negative
+	// disables slow-keeping.
+	SlowThreshold time.Duration
+	// SampleRate is the probability (0..1) of keeping a trace that is not
+	// slow. The decision is a deterministic function of the trace ID, so
+	// identical IDs sample identically across processes.
+	SampleRate float64
+	// RingSize bounds the in-memory ring of kept traces (default 256).
+	RingSize int
+	// Sink, when non-nil, receives one JSON trace record per kept trace.
+	Sink *JSONLWriter
+}
+
+func (c TracerConfig) withDefaults() TracerConfig {
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = 100 * time.Millisecond
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.SampleRate < 0 {
+		c.SampleRate = 0
+	}
+	if c.SampleRate > 1 {
+		c.SampleRate = 1
+	}
+	return c
+}
+
+// Tracer produces hierarchical spans and retains a bounded ring of recent
+// kept traces. A nil *Tracer is valid and inert.
+type Tracer struct {
+	cfg TracerConfig
+
+	mu   sync.Mutex
+	ring []*TraceRecord // circular, next points at the oldest slot
+	next int
+
+	started   atomic.Uint64 // root spans started
+	kept      atomic.Uint64 // traces retained (slow + sampled)
+	slow      atomic.Uint64 // traces kept via the slow threshold
+	sampled   atomic.Uint64 // traces kept via probabilistic sampling
+	dropped   atomic.Uint64 // finished traces not retained
+	openSpans atomic.Int64  // spans started but not yet ended
+}
+
+// NewTracer builds a Tracer; a Disabled config returns a non-nil but inert
+// tracer so callers can pass it around unconditionally.
+func NewTracer(cfg TracerConfig) *Tracer {
+	cfg = cfg.withDefaults()
+	t := &Tracer{cfg: cfg}
+	if !cfg.Disabled {
+		t.ring = make([]*TraceRecord, 0, cfg.RingSize)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer collects spans.
+func (t *Tracer) Enabled() bool { return t != nil && !t.cfg.Disabled }
+
+// traceAcc accumulates one trace's completed spans until the root ends.
+//
+// It is laid out for the request hot path: the root span is stored inline
+// (one allocation per trace), the completed-span list starts on an inline
+// backing array, and span timestamps are monotonic offsets from base so
+// spans read the clock with time.Since (monotonic fast path) rather than
+// time.Now.
+type traceAcc struct {
+	t    *Tracer
+	id   TraceID
+	base time.Time   // root start; span times are offsets from it
+	kept atomic.Bool // set at finalize; read lock-free on the request path
+
+	mu           sync.Mutex
+	spans        []*Span
+	droppedSpans int
+	finalized    bool
+	keptAs       string // why the trace was retained ("" = dropped/undecided)
+
+	root     Span     // inline root storage: one allocation per trace
+	rootCtx  spanCtx  // inline context carrying the root span
+	spansBuf [4]*Span // inline backing for spans
+}
+
+// child starts a span under the given parent ID.
+func (a *traceAcc) child(name string, parent SpanID) *Span {
+	a.t.openSpans.Add(1)
+	s := &Span{
+		acc:      a,
+		name:     name,
+		id:       NewSpanID(),
+		parent:   parent,
+		startOff: time.Since(a.base),
+	}
+	return s
+}
+
+// add records a completed span; returns false once the trace is finalized or
+// full (the span is counted as dropped instead).
+func (a *traceAcc) add(s *Span) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.finalized || len(a.spans) >= maxSpansPerTrace {
+		a.droppedSpans++
+		return
+	}
+	a.spans = append(a.spans, s)
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// spanCtx is a minimal context carrying one span: cheaper than
+// context.WithValue (no key checks, 32 bytes, and for root spans it is
+// embedded in the trace accumulator so the hot path allocates nothing extra).
+type spanCtx struct {
+	context.Context
+	span *Span
+}
+
+func (c *spanCtx) Value(key any) any {
+	if _, ok := key.(spanKey); ok {
+		return c.span
+	}
+	return c.Context.Value(key)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// ContextWithSpan returns ctx with s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return &spanCtx{Context: ctx, span: s}
+}
+
+// KV is one span attribute.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// TraceOptions seeds a root span from propagated context. Zero IDs are
+// replaced with fresh random ones.
+type TraceOptions struct {
+	// TraceID adopts a propagated (traceparent) trace ID.
+	TraceID TraceID
+	// SpanID fixes the root span's own ID — the serving layer generates it
+	// up front so the response traceparent header can be written before the
+	// handler runs.
+	SpanID SpanID
+	// ParentSpanID records the remote caller's span (traceparent parent-id);
+	// it appears as the root span's parent in the trace record.
+	ParentSpanID SpanID
+	// Start, when non-zero, is adopted as the root span's start so a caller
+	// that already read the clock does not pay a second time.Now.
+	Start time.Time
+	// Attrs seeds the root span's first attributes without locking — during
+	// StartTrace the span is not yet visible to any other goroutine.
+	// Entries with an empty key are ignored.
+	Attrs [4]KV
+}
+
+// StartTrace begins a new trace rooted at a span with the given name,
+// returning a context carrying the root span. On a nil or disabled tracer it
+// returns ctx unchanged and a nil span.
+func (t *Tracer) StartTrace(ctx context.Context, name string, opts TraceOptions) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	if opts.TraceID.IsZero() {
+		opts.TraceID = NewTraceID()
+	}
+	if opts.SpanID.IsZero() {
+		opts.SpanID = NewSpanID()
+	}
+	if opts.Start.IsZero() {
+		opts.Start = time.Now()
+	}
+	t.started.Add(1)
+	acc := &traceAcc{t: t, id: opts.TraceID, base: opts.Start}
+	acc.spans = acc.spansBuf[:0]
+	s := &acc.root
+	s.acc = acc
+	s.name = name
+	s.id = opts.SpanID
+	s.parent = opts.ParentSpanID
+	s.root = true
+	for _, kv := range opts.Attrs {
+		if kv.Key != "" {
+			s.attrBuf[s.nattrs] = kv
+			s.nattrs++
+		}
+	}
+	t.openSpans.Add(1)
+	acc.rootCtx = spanCtx{Context: ctx, span: s}
+	return &acc.rootCtx, s
+}
+
+// StartRoot is StartTrace with fresh random IDs — the entry point for
+// non-HTTP roots (pipeline rounds, training runs).
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	return t.StartTrace(ctx, name, TraceOptions{})
+}
+
+// StartSpan begins a child of the context's current span. Outside a trace
+// (no current span, or tracing disabled) it returns ctx unchanged and a nil
+// span, so instrumentation is free when not tracing.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := ChildSpan(ctx, name)
+	if s == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// ChildSpan is StartSpan without deriving a new context — for leaf
+// operations whose subtree nests nothing further, it skips the context
+// allocation on the request hot path.
+func ChildSpan(ctx context.Context, name string) *Span {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.acc == nil {
+		return nil
+	}
+	return parent.acc.child(name, parent.id)
+}
+
+// maxInlineAttrs is the per-span inline attribute capacity; a span carrying
+// more spills the excess into a map. Four covers the serve root span
+// (method, path, request_id, status) without an allocation.
+const maxInlineAttrs = 4
+
+// Span is one timed operation inside a trace. All methods are safe on a nil
+// receiver and safe for concurrent use.
+type Span struct {
+	acc      *traceAcc
+	name     string
+	id       SpanID
+	parent   SpanID
+	startOff time.Duration // offset from acc.base (zero for the root)
+	root     bool
+
+	mu            sync.Mutex
+	nattrs        int
+	attrBuf       [maxInlineAttrs]KV
+	attrOverflow  map[string]any
+	events        []SpanEvent
+	droppedEvents int
+	status        string
+	endOff        time.Duration
+	ended         bool
+}
+
+// SpanEvent is one timestamped annotation inside a span.
+type SpanEvent struct {
+	Name  string         `json:"name"`
+	Time  time.Time      `json:"t"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.acc.id
+}
+
+// ID returns the span's own ID (zero for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// Attr returns one attribute's value, or nil when absent (or on a nil span).
+// It is a cold-path read — request-ID recovery and tests; everything else
+// reads assembled records.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < s.nattrs; i++ {
+		if s.attrBuf[i].Key == key {
+			return s.attrBuf[i].Value
+		}
+	}
+	return s.attrOverflow[key]
+}
+
+// SetAttr attaches a key/value attribute. Values must be JSON-marshalable;
+// the repo's instrumentation sticks to strings, booleans and numbers.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.setAttrLocked(key, value)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) setAttrLocked(key string, value any) {
+	for i := 0; i < s.nattrs; i++ {
+		if s.attrBuf[i].Key == key {
+			s.attrBuf[i].Value = value
+			return
+		}
+	}
+	if s.nattrs < maxInlineAttrs {
+		s.attrBuf[s.nattrs] = KV{Key: key, Value: value}
+		s.nattrs++
+		return
+	}
+	if s.attrOverflow == nil {
+		s.attrOverflow = make(map[string]any, 4)
+	}
+	s.attrOverflow[key] = value
+}
+
+// attrsLocked freezes the attributes into the map form used by records.
+func (s *Span) attrsLocked() map[string]any {
+	if s.nattrs == 0 && len(s.attrOverflow) == 0 {
+		return nil
+	}
+	m := make(map[string]any, s.nattrs+len(s.attrOverflow))
+	for i := 0; i < s.nattrs; i++ {
+		m[s.attrBuf[i].Key] = s.attrBuf[i].Value
+	}
+	for k, v := range s.attrOverflow {
+		m[k] = v
+	}
+	return m
+}
+
+// SetStatus sets the span's status ("" means ok; the repo uses "error",
+// "crashed", "canceled", "deadline", "partial").
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.status = status
+	}
+	s.mu.Unlock()
+}
+
+// Event appends a timestamped annotation (bounded per span; excess is
+// counted, not stored).
+func (s *Span) Event(name string, attrs map[string]any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		if len(s.events) >= maxEventsPerSpan {
+			s.droppedEvents++
+		} else {
+			s.events = append(s.events, SpanEvent{Name: name, Time: time.Now(), Attrs: attrs})
+		}
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span. Ending the root span finalizes the trace: the
+// tracer decides keep-or-drop and, when kept, records it in the ring and the
+// sink. End is idempotent.
+func (s *Span) End() {
+	s.EndWith("")
+}
+
+// EndWith is End plus a final status and attributes applied inside End's own
+// critical section — one lock where SetStatus/SetAttr/End would take three.
+// The serve middleware closes every root span through it. An empty status
+// leaves any previously set status in place.
+func (s *Span) EndWith(status string, attrs ...KV) {
+	if s == nil {
+		return
+	}
+	endOff := time.Since(s.acc.base)
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	for _, kv := range attrs {
+		s.setAttrLocked(kv.Key, kv.Value)
+	}
+	if status != "" {
+		s.status = status
+	}
+	s.ended = true
+	s.endOff = endOff
+	s.mu.Unlock()
+	s.acc.t.openSpans.Add(-1)
+	if s.root {
+		// finish publishes the root into the span list itself, inside the
+		// same critical section that finalizes the trace.
+		s.acc.t.finish(s.acc, s, endOff-s.startOff)
+	} else {
+		s.acc.add(s)
+	}
+}
+
+// Duration returns the span's wall-clock time; zero before End (and on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.endOff - s.startOff
+}
+
+// Kept reports whether the span's trace survived tail sampling; meaningful
+// once the root span has ended. The serve middleware gates exemplar
+// attachment on it so exemplars only ever point at retrievable traces.
+func (s *Span) Kept() bool {
+	return s != nil && s.acc.kept.Load()
+}
+
+// sampleTrace derives the deterministic keep decision for a non-slow trace
+// from the trace ID's low 64 bits, so a given ID samples identically
+// everywhere and tests can pin the behavior.
+func sampleTrace(id TraceID, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	v := binary.BigEndian.Uint64(id[8:])
+	return float64(v) < rate*float64(math.MaxUint64)
+}
+
+// finish applies the tail-based keep decision and retains the trace record.
+// d is the root span's duration, passed in so finish does not re-lock root.
+func (t *Tracer) finish(acc *traceAcc, root *Span, d time.Duration) {
+	slow := t.cfg.SlowThreshold > 0 && d >= t.cfg.SlowThreshold
+	keep, kept := false, ""
+	switch {
+	case slow:
+		keep, kept = true, "slow"
+		t.slow.Add(1)
+	case sampleTrace(acc.id, t.cfg.SampleRate):
+		keep, kept = true, "sampled"
+		t.sampled.Add(1)
+	}
+
+	acc.mu.Lock()
+	acc.finalized = true
+	acc.keptAs = kept
+	if len(acc.spans) < maxSpansPerTrace {
+		acc.spans = append(acc.spans, root)
+	} else {
+		acc.droppedSpans++
+	}
+	spans, droppedSpans := acc.spans, acc.droppedSpans
+	acc.mu.Unlock()
+	acc.kept.Store(keep)
+
+	if !keep {
+		t.dropped.Add(1)
+		return
+	}
+	t.kept.Add(1)
+	rec := assembleRecord(acc, root, spans, droppedSpans, kept)
+	t.mu.Lock()
+	if len(t.ring) < t.cfg.RingSize {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.next = (t.next + 1) % t.cfg.RingSize
+	}
+	t.mu.Unlock()
+	if t.cfg.Sink != nil {
+		_ = t.cfg.Sink.Write(rec)
+	}
+}
+
+// TraceRecord is the retained JSON form of one finished trace.
+type TraceRecord struct {
+	TraceID string    `json:"trace_id"`
+	Root    string    `json:"root"`
+	Start   time.Time `json:"start"`
+	// DurationMS is the root span's wall-clock time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Status is the root span's status ("" = ok).
+	Status string `json:"status,omitempty"`
+	// Kept says why the trace survived tail sampling: "slow" or "sampled".
+	Kept string `json:"kept"`
+	// DroppedSpans counts spans discarded past the per-trace bound.
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// SpanRecord is one completed span inside a TraceRecord.
+type SpanRecord struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Status     string         `json:"status,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []SpanEvent    `json:"events,omitempty"`
+	// DroppedEvents counts events discarded past the per-span bound.
+	DroppedEvents int `json:"dropped_events,omitempty"`
+}
+
+// assembleRecord freezes completed spans into a record, ordered by start
+// time so the tree reads top-down.
+func assembleRecord(acc *traceAcc, root *Span, spans []*Span, droppedSpans int, kept string) *TraceRecord {
+	root.mu.Lock()
+	rootStatus := root.status
+	root.mu.Unlock()
+	rec := &TraceRecord{
+		TraceID:      acc.id.String(),
+		Root:         root.name,
+		Start:        acc.base,
+		DurationMS:   root.Duration().Seconds() * 1e3,
+		Status:       rootStatus,
+		Kept:         kept,
+		DroppedSpans: droppedSpans,
+		Spans:        make([]SpanRecord, 0, len(spans)),
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].startOff < spans[j].startOff })
+	for _, s := range spans {
+		s.mu.Lock()
+		sr := SpanRecord{
+			SpanID:        s.id.String(),
+			Name:          s.name,
+			Start:         acc.base.Add(s.startOff),
+			DurationMS:    (s.endOff - s.startOff).Seconds() * 1e3,
+			Status:        s.status,
+			Attrs:         s.attrsLocked(),
+			Events:        s.events,
+			DroppedEvents: s.droppedEvents,
+		}
+		if !s.parent.IsZero() {
+			sr.ParentID = s.parent.String()
+		}
+		s.mu.Unlock()
+		rec.Spans = append(rec.Spans, sr)
+	}
+	return rec
+}
+
+// TraceFilter selects traces from the ring.
+type TraceFilter struct {
+	// Root, when non-empty, keeps only traces whose root span has this name
+	// (the serving layer names root spans by route).
+	Root string
+	// MinDuration keeps only traces at least this slow.
+	MinDuration time.Duration
+	// TraceID, when non-empty, keeps only the trace with this exact ID.
+	TraceID string
+	// Limit bounds the result count (0 = all retained traces).
+	Limit int
+}
+
+// Traces returns retained traces, newest first, after filtering.
+func (t *Tracer) Traces(f TraceFilter) []*TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	ordered := make([]*TraceRecord, 0, len(t.ring))
+	// ring[next-1] is the newest once the ring wrapped; before wrapping the
+	// newest is the last appended element.
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		ordered = append(ordered, t.ring[(t.next+i)%len(t.ring)])
+	}
+	t.mu.Unlock()
+	out := make([]*TraceRecord, 0, len(ordered))
+	for _, rec := range ordered {
+		if f.Root != "" && rec.Root != f.Root {
+			continue
+		}
+		if f.MinDuration > 0 && rec.DurationMS < f.MinDuration.Seconds()*1e3 {
+			continue
+		}
+		if f.TraceID != "" && rec.TraceID != f.TraceID {
+			continue
+		}
+		out = append(out, rec)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// TracerStats is a point-in-time snapshot of the tracer's counters, exposed
+// in /debug/statz.
+type TracerStats struct {
+	Started   uint64 `json:"started"`
+	Kept      uint64 `json:"kept"`
+	Slow      uint64 `json:"slow"`
+	Sampled   uint64 `json:"sampled"`
+	Dropped   uint64 `json:"dropped"`
+	OpenSpans int64  `json:"open_spans"`
+
+	RingSize      int     `json:"ring_size"`
+	SlowThreshMS  float64 `json:"slow_threshold_ms"`
+	SampleRate    float64 `json:"sample_rate"`
+	Disabled      bool    `json:"disabled,omitempty"`
+	RetainedCount int     `json:"retained"`
+}
+
+// Stats snapshots the tracer's counters; zero value on a nil tracer.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{Disabled: true}
+	}
+	t.mu.Lock()
+	retained := len(t.ring)
+	t.mu.Unlock()
+	return TracerStats{
+		Started:       t.started.Load(),
+		Kept:          t.kept.Load(),
+		Slow:          t.slow.Load(),
+		Sampled:       t.sampled.Load(),
+		Dropped:       t.dropped.Load(),
+		OpenSpans:     t.openSpans.Load(),
+		RingSize:      t.cfg.RingSize,
+		SlowThreshMS:  t.cfg.SlowThreshold.Seconds() * 1e3,
+		SampleRate:    t.cfg.SampleRate,
+		Disabled:      t.cfg.Disabled,
+		RetainedCount: retained,
+	}
+}
+
+// OpenSpans returns the number of started-but-unended spans — zero whenever
+// no trace is in flight. The crash/fault test matrix asserts this to prove
+// instrumented code paths never orphan a span.
+func (t *Tracer) OpenSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.openSpans.Load()
+}
+
+// writeJSONResponse writes v as a JSON response body.
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// tracesResponse is the /debug/traces JSON shape.
+type tracesResponse struct {
+	Stats  TracerStats    `json:"stats"`
+	Traces []*TraceRecord `json:"traces"`
+}
+
+// TracesHandler serves the retained traces as JSON, newest first.
+// Query parameters: ?root= (exact root-span/route name), ?min_ms= (minimum
+// root duration), ?trace_id= (exact ID), ?limit= (max traces).
+func (t *Tracer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var f TraceFilter
+		q := r.URL.Query()
+		f.Root = q.Get("root")
+		if f.Root == "" {
+			f.Root = q.Get("route") // alias: root spans are named by route
+		}
+		f.TraceID = q.Get("trace_id")
+		if raw := q.Get("min_ms"); raw != "" {
+			ms, err := strconv.ParseFloat(raw, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, `{"error":"min_ms must be a non-negative number"}`, http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, `{"error":"limit must be a non-negative integer"}`, http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		writeJSONResponse(w, tracesResponse{Stats: t.Stats(), Traces: t.Traces(f)})
+	})
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"flag"
+	"time"
+)
+
+// TraceFlags holds the parsed values of the standard tracing flags shared by
+// every binary; RegisterTraceFlags installs them and Config resolves them
+// into a TracerConfig after flag parsing.
+type TraceFlags struct {
+	out    *string
+	slowMS *float64
+	sample *float64
+	ring   *int
+}
+
+// RegisterTraceFlags installs -trace-out, -trace-slow-ms, -trace-sample and
+// -trace-ring on fs so every command exposes identical tracing knobs.
+// defaultSample is the keep probability for traces that are not slow: daemons
+// pass a small rate (their hot paths see thousands of requests), one-shot
+// CLIs pass 1 (a training run produces a handful of traces and the user who
+// asked for -trace-out wants all of them).
+func RegisterTraceFlags(fs *flag.FlagSet, defaultSample float64) *TraceFlags {
+	f := &TraceFlags{}
+	f.out = fs.String("trace-out", "", "append one JSON trace record per line to this file")
+	f.slowMS = fs.Float64("trace-slow-ms", 100, "always keep traces with a root span at least this many milliseconds (negative disables slow capture)")
+	f.sample = fs.Float64("trace-sample", defaultSample, "probability in [0,1] of keeping a trace that is not slow")
+	f.ring = fs.Int("trace-ring", 256, "recent kept traces held in memory for GET /debug/traces")
+	return f
+}
+
+// Config resolves the parsed flags into a TracerConfig, opening the JSONL
+// sink when -trace-out was given. The returned close func flushes and closes
+// the sink (a no-op without one); callers must defer it so the final trace
+// lines reach disk.
+func (f *TraceFlags) Config() (TracerConfig, func() error, error) {
+	cfg := TracerConfig{
+		SampleRate: *f.sample,
+		RingSize:   *f.ring,
+	}
+	if ms := *f.slowMS; ms < 0 {
+		cfg.SlowThreshold = -1 // negative disables the slow-keep rule
+	} else {
+		cfg.SlowThreshold = time.Duration(ms * float64(time.Millisecond))
+	}
+	closer := func() error { return nil }
+	if *f.out != "" {
+		w, err := CreateJSONL(*f.out)
+		if err != nil {
+			return TracerConfig{}, nil, err
+		}
+		cfg.Sink = w
+		closer = w.Close
+	}
+	return cfg, closer, nil
+}

@@ -127,6 +127,11 @@ type Config struct {
 	// Registry receives the pipeline_* metrics; nil registers them into a
 	// private registry (still updated, not exported).
 	Registry *obs.Registry
+	// Tracer receives one trace per Step (root span "pipeline_step" with
+	// round/stage/epoch children). Nil disables pipeline tracing. The
+	// pipeline daemon shares the serving layer's tracer so pipeline and
+	// request traces land in one ring.
+	Tracer *obs.Tracer
 	// Hooks injects faults for tests.
 	Hooks Hooks
 }
@@ -401,16 +406,27 @@ func (p *Pipeline) Step(ctx context.Context) (published bool, err error) {
 	if p.dead {
 		return false, ErrCrashed
 	}
+	ctx, stepSpan := p.cfg.Tracer.StartRoot(ctx, "pipeline_step")
 	defer func() {
 		if r := recover(); r != nil {
 			cp, ok := r.(crashPanic)
 			if !ok {
+				// Not an injected crash: close the root span and let the
+				// panic keep unwinding.
+				stepSpan.SetStatus("error")
+				stepSpan.End()
 				panic(r)
 			}
 			p.dead = true
 			published = false
 			err = fmt.Errorf("%w: %s", ErrCrashed, cp.point)
+			stepSpan.SetStatus("crashed")
+			stepSpan.SetAttr("crash_point", cp.point)
+		} else if err != nil {
+			stepSpan.SetStatus("error")
 		}
+		stepSpan.SetAttr("published", published)
+		stepSpan.End()
 	}()
 
 	// Tail. Only newline-terminated lines are consumed; a half-appended
@@ -467,8 +483,31 @@ func (p *Pipeline) Step(ctx context.Context) (published bool, err error) {
 	return published, nil
 }
 
-// round retrains on the full consumed prefix and publishes the result.
-func (p *Pipeline) round(ctx context.Context) error {
+// round retrains on the full consumed prefix and publishes the result. It
+// runs as a "round" child span of the step; the train and publish stage
+// spans (and the trainer's corpus/epoch spans) nest beneath it, so one trace
+// shows where a round's latency went.
+func (p *Pipeline) round(ctx context.Context) (err error) {
+	ctx, span := obs.StartSpan(ctx, "round")
+	span.SetAttr("to_offset", p.tailedTo)
+	span.SetAttr("actions", len(p.actions))
+	completed := false
+	defer func() {
+		// An injected crash unwinds through here without being recovered;
+		// the flag distinguishes that from a normal error return.
+		if !completed {
+			span.SetStatus("crashed")
+		} else if err != nil {
+			span.SetStatus("error")
+		}
+		span.End()
+	}()
+	err = p.doRound(ctx)
+	completed = true
+	return err
+}
+
+func (p *Pipeline) doRound(ctx context.Context) error {
 	toOffset := p.tailedTo
 	alog, err := actionlog.FromActions(p.numUsers, p.actions)
 	if err != nil {
@@ -509,7 +548,17 @@ func (p *Pipeline) round(ctx context.Context) error {
 
 	var res *core.Result
 	err = p.runStage(ctx, "train", p.cfg.TrainTimeout, func(sctx context.Context) error {
-		r, terr := p.trainOnce(sctx, tcfg, alog)
+		// Each attempt gets its own telemetry→span adapter bound to the
+		// attempt's stage span, so a retried attempt's corpus/epoch spans
+		// nest under its own "train" span, not the first attempt's. The
+		// deferred closeOpen ends any span a crash or cancellation left
+		// open (trainer telemetry is synchronous, so this goroutine owns
+		// the open spans).
+		attemptCfg := tcfg
+		emit, closeOpen := core.TraceTelemetry(sctx, attemptCfg.Telemetry)
+		attemptCfg.Telemetry = emit
+		defer closeOpen()
+		r, terr := p.trainOnce(sctx, attemptCfg, alog)
 		if terr != nil {
 			return terr
 		}
@@ -602,17 +651,7 @@ func (p *Pipeline) runStage(ctx context.Context, stage string, timeout time.Dura
 				return err
 			}
 		}
-		err := p.failOnce(stage)
-		if err == nil {
-			sctx, cancel := ctx, context.CancelFunc(nil)
-			if timeout > 0 {
-				sctx, cancel = context.WithTimeout(ctx, timeout)
-			}
-			err = fn(sctx)
-			if cancel != nil {
-				cancel()
-			}
-		}
+		err := p.attemptStage(ctx, stage, timeout, attempt, fn)
 		if err == nil {
 			return nil
 		}
@@ -624,6 +663,41 @@ func (p *Pipeline) runStage(ctx context.Context, stage string, timeout time.Dura
 	}
 	p.met.stageFailures.With(stage).Inc()
 	return fmt.Errorf("pipeline: stage %s failed after %d attempts: %w", stage, attempts, lastErr)
+}
+
+// attemptStage runs one attempt of a stage under its own span (named after
+// the stage, carrying the 1-based attempt number) and per-attempt deadline.
+// Retried attempts therefore appear as sibling spans, making the backoff
+// loop visible in the trace. The finished flag closes the span as "crashed"
+// when an injected crash unwinds through without being recovered here.
+func (p *Pipeline) attemptStage(ctx context.Context, stage string, timeout time.Duration, attempt int, fn func(context.Context) error) (err error) {
+	sctx, span := obs.StartSpan(ctx, stage)
+	span.SetAttr("attempt", attempt+1)
+	finished := false
+	defer func() {
+		if !finished {
+			span.SetStatus("crashed")
+		} else if err != nil {
+			span.SetStatus("error")
+		}
+		span.End()
+	}()
+	if err = p.failOnce(stage); err != nil {
+		// Injected stage faults count as failed attempts, so they leave an
+		// error span like any real failure would.
+		finished = true
+		return err
+	}
+	cancel := context.CancelFunc(nil)
+	if timeout > 0 {
+		sctx, cancel = context.WithTimeout(sctx, timeout)
+	}
+	err = fn(sctx)
+	if cancel != nil {
+		cancel()
+	}
+	finished = true
+	return err
 }
 
 func (p *Pipeline) failOnce(stage string) error {

@@ -597,6 +597,195 @@ func TestRunDrainsBacklogAndStopsOnCancel(t *testing.T) {
 	}
 }
 
+// keepAllTracer keeps every finished trace: sampling at 1.0 and the slow
+// threshold disabled, so tests can assert on exact trace contents.
+func keepAllTracer() *obs.Tracer {
+	return obs.NewTracer(obs.TracerConfig{SampleRate: 1, SlowThreshold: -1})
+}
+
+// spanNames collects the names of a trace's spans, with multiplicity.
+func spanNames(rec *obs.TraceRecord) map[string]int {
+	names := make(map[string]int)
+	for _, s := range rec.Spans {
+		names[s.Name]++
+	}
+	return names
+}
+
+// TestStepTraceSpans publishes one round under a keep-all tracer and asserts
+// the trace tree: a pipeline_step root with tail/round/notify children, the
+// stage spans beneath the round, and the trainer's corpus/epoch spans
+// beneath the train stage — with every span closed by the end of the step.
+func TestStepTraceSpans(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pipeCfg(t, dir)
+	cfg.Tracer = keepAllTracer()
+	cfg.Notify = func(context.Context) error { return nil }
+	appendLines(t, cfg.LogPath, phaseLines(0))
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mustStep(t, p) {
+		t.Fatal("step did not publish")
+	}
+	if open := cfg.Tracer.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open after a clean step", open)
+	}
+	traces := cfg.Tracer.Traces(obs.TraceFilter{Root: "pipeline_step"})
+	if len(traces) != 1 {
+		t.Fatalf("got %d pipeline_step traces, want 1", len(traces))
+	}
+	rec := traces[0]
+	if rec.Status != "" {
+		t.Fatalf("clean step trace has status %q", rec.Status)
+	}
+	names := spanNames(rec)
+	for _, want := range []string{"pipeline_step", "tail", "round", "train", "publish", "notify", "corpus_gen"} {
+		if names[want] == 0 {
+			t.Fatalf("trace is missing a %q span; got %v", want, names)
+		}
+	}
+	if names["epoch"] != trainCfg().Iterations {
+		t.Fatalf("trace has %d epoch spans, want %d", names["epoch"], trainCfg().Iterations)
+	}
+
+	// Parent links: round under the root, train under the round, epochs
+	// under the train attempt.
+	byID := make(map[string]obs.SpanRecord)
+	var root obs.SpanRecord
+	for _, s := range rec.Spans {
+		byID[s.SpanID] = s
+		if s.Name == "pipeline_step" {
+			root = s
+		}
+	}
+	parentName := func(s obs.SpanRecord) string { return byID[s.ParentID].Name }
+	for _, s := range rec.Spans {
+		switch s.Name {
+		case "round":
+			if s.ParentID != root.SpanID {
+				t.Fatalf("round span's parent is %q, want the step root", parentName(s))
+			}
+		case "train", "publish":
+			if got := parentName(s); got != "round" {
+				t.Fatalf("%s span's parent is %q, want round", s.Name, got)
+			}
+		case "epoch", "corpus_gen":
+			if got := parentName(s); got != "train" {
+				t.Fatalf("%s span's parent is %q, want train", s.Name, got)
+			}
+			if s.Name == "epoch" {
+				if _, ok := s.Attrs["loss"]; !ok {
+					t.Fatalf("epoch span has no loss attr: %v", s.Attrs)
+				}
+				if _, ok := s.Attrs["examples_per_sec"]; !ok {
+					t.Fatalf("epoch span has no examples_per_sec attr: %v", s.Attrs)
+				}
+			}
+		}
+	}
+	if pub, ok := root.Attrs["published"]; !ok || pub != true {
+		t.Fatalf("root published attr = %v, want true", root.Attrs["published"])
+	}
+}
+
+// TestCrashMatrixClosesAllSpans kills the pipeline at every crash point and
+// asserts no span is left open: the simulated kill -9 unwinds through the
+// round, stage and telemetry spans, and each must close on the way out (the
+// crash/error statuses mark the path), leaving OpenSpans at zero and a
+// retained trace whose root records the crash point.
+func TestCrashMatrixClosesAllSpans(t *testing.T) {
+	for _, point := range crashPoints {
+		point := point
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := pipeCfg(t, dir)
+			cfg.Tracer = keepAllTracer()
+			appendLines(t, cfg.LogPath, phaseLines(0))
+			armed := &oneShot{point: point}
+			cfg.Hooks = Hooks{Crash: armed.hook}
+			cfg.Notify = func(context.Context) error { return nil }
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Step(context.Background()); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("step survived the %s crash: %v", point, err)
+			}
+			if open := cfg.Tracer.OpenSpans(); open != 0 {
+				t.Fatalf("%d spans left open after the %s crash", open, point)
+			}
+			traces := cfg.Tracer.Traces(obs.TraceFilter{Root: "pipeline_step"})
+			if len(traces) != 1 {
+				t.Fatalf("got %d traces after the %s crash, want 1", len(traces), point)
+			}
+			rec := traces[0]
+			if rec.Status != "crashed" {
+				t.Fatalf("crashed trace has root status %q, want crashed", rec.Status)
+			}
+			for _, s := range rec.Spans {
+				if s.Name == "pipeline_step" {
+					if got := s.Attrs["crash_point"]; got != point {
+						t.Fatalf("crash_point attr = %v, want %s", got, point)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRetryAttemptsAreSiblingSpans fails the tail stage twice and asserts
+// the retries show up as three sibling "tail" spans with 1-based attempt
+// attrs, the failed ones marked error.
+func TestRetryAttemptsAreSiblingSpans(t *testing.T) {
+	dir := t.TempDir()
+	cfg := pipeCfg(t, dir)
+	cfg.Tracer = keepAllTracer()
+	appendLines(t, cfg.LogPath, phaseLines(0))
+	var attempts atomic.Int64
+	cfg.Hooks.Fail = func(point string) error {
+		if point == "tail" && attempts.Add(1) <= 2 {
+			return errors.New("injected tail fault")
+		}
+		return nil
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mustStep(t, p) {
+		t.Fatal("step did not publish despite retries")
+	}
+	traces := cfg.Tracer.Traces(obs.TraceFilter{Root: "pipeline_step"})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	var tails []obs.SpanRecord
+	for _, s := range traces[0].Spans {
+		if s.Name == "tail" {
+			tails = append(tails, s)
+		}
+	}
+	if len(tails) != 3 {
+		t.Fatalf("got %d tail spans, want 3 (two failed attempts + success)", len(tails))
+	}
+	for i, s := range tails {
+		if got := s.Attrs["attempt"]; got != i+1 {
+			t.Fatalf("tail span %d has attempt attr %v, want %d", i, got, i+1)
+		}
+		if i < 2 && s.Status != "error" {
+			t.Fatalf("failed attempt %d has status %q, want error", i+1, s.Status)
+		}
+		if i == 2 && s.Status != "" {
+			t.Fatalf("successful attempt has status %q", s.Status)
+		}
+		if s.ParentID != tails[0].ParentID {
+			t.Fatal("retry attempts are not sibling spans")
+		}
+	}
+}
+
 // TestRecordPipelineBench measures streaming throughput (actions tailed per
 // second) and retrain lag quantiles over repeated small rounds, and — when
 // INF2VEC_WRITE_BENCH is set — records them in BENCH_pipeline.json at the
@@ -658,7 +847,14 @@ func TestRecordPipelineBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("..", "..", "BENCH_pipeline.json")
+	// INF2VEC_BENCH_DIR redirects the report (the CI regression gate writes
+	// fresh numbers to a scratch dir and compares them against the committed
+	// baselines); default is the repository root.
+	benchDir := os.Getenv("INF2VEC_BENCH_DIR")
+	if benchDir == "" {
+		benchDir = filepath.Join("..", "..")
+	}
+	path := filepath.Join(benchDir, "BENCH_pipeline.json")
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}

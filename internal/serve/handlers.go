@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"inf2vec/internal/eval"
+	"inf2vec/internal/obs"
 )
 
 // maxTopK caps /v1/topk list lengths so one request cannot ask for an
@@ -29,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/statz", s.handleStatz)
 	mux.Handle("GET /metrics", s.met.reg.Handler())
+	mux.Handle("GET /debug/traces", s.tracer.TracesHandler())
 
 	api := func(h http.HandlerFunc) http.Handler {
 		return s.withShedding(s.withDeadline(h))
@@ -81,6 +83,9 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		s.writeTimeout(w)
 		return
 	}
+	// No child span here: a pair score is a single dot product, so the root
+	// span already is the model-scoring measurement, and /v1/score is the
+	// one route hot enough that per-request span granularity shows up in p50.
 	score, err := s.model.Load().scorer.Pair(u, v)
 	if err != nil {
 		writeScorerError(w, err)
@@ -126,7 +131,10 @@ func (s *Server) handleActivation(w http.ResponseWriter, r *http.Request) {
 		s.writeTimeout(w)
 		return
 	}
+	sp := obs.ChildSpan(ctx, "activation_score")
+	sp.SetAttr("active_count", len(req.Active))
 	score, err := s.model.Load().scorer.Activation(req.Active, req.Candidate, agg)
+	sp.End()
 	if err != nil {
 		writeScorerError(w, err)
 		return
@@ -173,7 +181,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeTimeout(w)
 		return
 	}
-	results, err := s.model.Load().scorer.TopInfluenced(ctx, []int32{u}, agg, k)
+	spanCtx, sp := obs.StartSpan(ctx, "topk_scan")
+	sp.SetAttr("k", k)
+	results, err := s.model.Load().scorer.TopInfluenced(spanCtx, []int32{u}, agg, k)
+	if err != nil {
+		sp.SetStatus("error")
+	}
+	sp.End()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.writeTimeout(w)

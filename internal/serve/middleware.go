@@ -2,12 +2,12 @@ package serve
 
 import (
 	"context"
-	"crypto/rand"
-	"encoding/hex"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"inf2vec/internal/obs"
 )
 
 // recorder captures the response status, the request ID and per-request
@@ -41,27 +41,31 @@ func (r *recorder) Write(b []byte) (int, error) {
 type requestIDKey struct{}
 
 // RequestID returns the request's correlation ID, or "" outside a request.
+// Traced requests carry the ID as the root span's request_id attribute (one
+// context allocation instead of two on the hot path); untraced requests fall
+// back to a plain context value.
 func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
+		return id
+	}
+	id, _ := obs.SpanFromContext(ctx).Attr("request_id").(string)
 	return id
 }
 
 // maxRequestIDLen caps accepted client-supplied X-Request-Id values.
 const maxRequestIDLen = 64
 
-// requestID returns the inbound X-Request-Id when it is usable, otherwise a
-// fresh random ID. Client IDs are restricted to a conservative charset so a
-// hostile header cannot smuggle log- or exposition-breaking bytes.
-func requestID(r *http.Request) string {
+// requestID returns the inbound X-Request-Id when it is usable, otherwise
+// the trace ID's hex form — so a request that arrives with neither header
+// gets ONE correlation ID shared by logs, error bodies, spans and exemplars.
+// Client IDs are restricted to a conservative charset so a hostile header
+// cannot smuggle log- or exposition-breaking bytes.
+func requestID(r *http.Request, traceID obs.TraceID) string {
 	id := r.Header.Get("X-Request-Id")
 	if id != "" && len(id) <= maxRequestIDLen && cleanRequestID(id) {
 		return id
 	}
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "unknown" // crypto/rand failing is effectively unreachable
-	}
-	return hex.EncodeToString(b[:])
+	return traceID.String()
 }
 
 func cleanRequestID(id string) bool {
@@ -77,28 +81,78 @@ func cleanRequestID(id string) bool {
 	return true
 }
 
-// withObservability wraps every request in a recorder and, on completion,
-// feeds the registry (per-route request counter, latency histogram) and
-// emits one structured log line carrying the request ID, which is also
-// echoed in the X-Request-Id response header and propagated via the request
-// context to handlers and error bodies.
+// withObservability wraps every request in a recorder and a root span and,
+// on completion, feeds the registry (per-route request counter, latency
+// histogram with the trace ID as the bucket's exemplar) and emits one
+// structured log line carrying the correlation ID.
+//
+// Correlation IDs are unified with W3C trace context: an inbound
+// `traceparent` header joins the caller's trace, an inbound X-Request-Id is
+// honored as the request ID, and a request with neither gets the fresh trace
+// ID as its request ID — one value shared by logs, error bodies, spans and
+// exemplars. Both `X-Request-Id` and `traceparent` response headers are
+// always set.
 func (s *Server) withObservability(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := requestID(r)
-		w.Header().Set("X-Request-Id", id)
-		rec := &recorder{ResponseWriter: w, reqID: id}
 		start := time.Now()
-		h.ServeHTTP(rec, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		var opts obs.TraceOptions
+		if tp, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			opts.TraceID = tp.TraceID
+			opts.ParentSpanID = tp.SpanID
+		} else {
+			opts.TraceID = obs.NewTraceID()
+		}
+		// The root span ID is fixed up front so the response traceparent can
+		// be written before the handler runs, tracer enabled or not.
+		opts.SpanID = obs.NewSpanID()
+		id := requestID(r, opts.TraceID)
+		w.Header().Set("X-Request-Id", id)
+		w.Header().Set("traceparent", obs.FormatTraceparent(opts.TraceID, opts.SpanID))
+
+		route := routeLabel(r.URL.Path)
+		opts.Start = start
+		opts.Attrs = [4]obs.KV{
+			{Key: "method", Value: r.Method},
+			{Key: "path", Value: r.URL.Path},
+			{Key: "request_id", Value: id},
+		}
+		ctx, span := s.tracer.StartTrace(r.Context(), route, opts)
+		if span == nil {
+			// Tracing off: no span to carry the ID, so spend the context
+			// value on it directly (RequestID checks both).
+			ctx = context.WithValue(ctx, requestIDKey{}, id)
+		}
+
+		rec := &recorder{ResponseWriter: w, reqID: id}
+		h.ServeHTTP(rec, r.WithContext(ctx))
 		status := rec.status
 		if status == 0 {
 			status = http.StatusOK // handler returned without writing
 		}
+		st := ""
+		switch {
+		case rec.timedOut:
+			st = "deadline"
+		case status >= 500:
+			st = "error"
+		}
+		span.EndWith(st, obs.KV{Key: "status", Value: status})
+
+		// Exemplars are only attached for traces that survived tail sampling
+		// — a dropped trace's ID would be a dead link — and a kept trace's
+		// bucket observes the root span's exact duration, so the exemplar
+		// leads to a trace whose root duration equals that very observation.
 		elapsed := time.Since(start)
-		route := routeLabel(r.URL.Path)
+		exemplarID := ""
+		if span.Kept() {
+			elapsed = span.Duration()
+			exemplarID = span.TraceID().String()
+		}
 		s.met.requests.With(route, r.Method, strconv.Itoa(status)).Inc()
-		s.met.latency.With(route).Observe(elapsed.Seconds())
+		s.met.latency.With(route).ObserveExemplar(elapsed.Seconds(), exemplarID)
 		s.log.Info("request",
 			"request_id", id,
+			"trace_id", opts.TraceID.String(),
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", status,
@@ -115,6 +169,7 @@ func (s *Server) withObservability(h http.Handler) http.Handler {
 var knownRoutes = map[string]bool{
 	"/v1/score": true, "/v1/activation": true, "/v1/topk": true, "/v1/seeds": true,
 	"/healthz": true, "/readyz": true, "/metrics": true, "/debug/statz": true,
+	"/debug/traces": true,
 }
 
 // routeLabel maps a request path onto the bounded route label set.

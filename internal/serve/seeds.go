@@ -16,6 +16,7 @@ import (
 	"inf2vec/internal/graph"
 	"inf2vec/internal/ic"
 	"inf2vec/internal/infmax"
+	"inf2vec/internal/obs"
 )
 
 // Request-shape caps for /v1/seeds: seed selection is the server's most
@@ -28,6 +29,11 @@ const (
 	defaultSeedsMCRuns = 100
 	defaultSeedsPool   = 100
 )
+
+// seedsEvalChunk is how many CELF spread evaluations each "celf_evals"
+// checkpoint span covers; a fresh chunk opens on the first evaluation, so
+// any run that evaluates at all produces at least one.
+const seedsEvalChunk = 100
 
 // seedsService is the influence-maximization-as-a-service subsystem: the
 // diffusion graph, a degree-ranked candidate shortlist, a dedicated
@@ -258,21 +264,31 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("mc_runs must be in [1,%d]", maxSeedsMCRuns))
 		return
 	}
+	shortSpan := obs.ChildSpan(ctx, "shortlist")
+	shortSpan.SetAttr("policy", req.Policy)
 	cands, err := svc.resolveCandidates(&req)
 	if err != nil {
+		shortSpan.SetStatus("error")
+		shortSpan.End()
 		s.met.seedsRequests.With("error").Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	shortSpan.SetAttr("candidates", len(cands))
+	shortSpan.End()
 
 	m := s.model.Load()
 	key, sum := seedsKey(m.crc, &req, cands, svc.offset)
 	start := time.Now()
-	if resp := svc.cache.get(key); resp != nil {
+	cacheSpan := obs.ChildSpan(ctx, "cache_lookup")
+	cachedResp := svc.cache.get(key)
+	cacheSpan.SetAttr("hit", cachedResp != nil)
+	cacheSpan.End()
+	if cachedResp != nil {
 		s.met.seedsCacheHits.Inc()
 		s.met.seedsRequests.With("full").Inc()
 		s.met.seedsLatency.Observe(time.Since(start).Seconds())
-		cached := *resp
+		cached := *cachedResp
 		cached.Cached = true
 		writeJSON(w, http.StatusOK, cached)
 		return
@@ -287,10 +303,14 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 	if call, ok := svc.calls[key]; ok {
 		svc.mu.Unlock()
 		s.met.seedsCollapsed.Inc()
+		waitSpan := obs.ChildSpan(ctx, "singleflight_wait")
 		select {
 		case <-call.done:
+			waitSpan.End()
 			s.finishSeeds(w, call.resp, call.status, call.errMsg, start)
 		case <-ctx.Done():
+			waitSpan.SetStatus("deadline")
+			waitSpan.End()
 			s.met.seedsRequests.With("error").Inc()
 			s.writeTimeout(w)
 		}
@@ -314,13 +334,27 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 
 	s.met.seedsInFlight.Add(1)
 	func() {
+		celfCtx, celfSpan := obs.StartSpan(ctx, "celf")
+		celfSpan.SetAttr("k", req.K)
+		celfSpan.SetAttr("budget", req.Budget)
+		celfSpan.SetAttr("mc_runs", req.MCRuns)
+		// chunk is the current per-N-evaluations checkpoint span; the hook
+		// below rotates it every seedsEvalChunk evaluations, so a long CELF
+		// run shows where its evaluation budget went over time. It must be
+		// closed on every exit — including a panicking Greedy run — or the
+		// trace would leak an open span.
+		var chunk *obs.Span
 		defer func() {
 			// A panicking Greedy run must still release the slot and wake
-			// followers (with a 500) before the recovery layer reports it.
+			// followers (with a 500) before the recovery layer reports it —
+			// and close its spans so the trace never holds orphans.
 			if call.resp == nil && call.status == 0 {
 				call.status = http.StatusInternalServerError
 				call.errMsg = "internal error"
+				celfSpan.SetStatus("error")
 			}
+			chunk.End()
+			celfSpan.End()
 			svc.mu.Lock()
 			delete(svc.calls, key)
 			svc.mu.Unlock()
@@ -328,7 +362,32 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 			s.met.seedsInFlight.Add(-1)
 			<-svc.limit
 		}()
-		res, err := infmax.Greedy(ctx, svc.g, s.seedsProber(m), infmax.Config{
+		hooks := s.seedsTestHooks
+		baseBefore, baseSelect := hooks.BeforeEval, hooks.OnSelect
+		evals := 0
+		hooks.BeforeEval = func(eval int, seeds []int32) error {
+			// Hooks run serially on this goroutine inside Greedy, so the
+			// chunk rotation needs no locking.
+			if evals%seedsEvalChunk == 0 {
+				chunk.End()
+				chunk = obs.ChildSpan(celfCtx, "celf_evals")
+				chunk.SetAttr("first_eval", eval)
+			}
+			evals++
+			if baseBefore != nil {
+				return baseBefore(eval, seeds)
+			}
+			return nil
+		}
+		hooks.OnSelect = func(seed int32, spread float64, evaluations int) {
+			celfSpan.Event("select", map[string]any{
+				"seed": seed, "spread": spread, "evaluations": evaluations,
+			})
+			if baseSelect != nil {
+				baseSelect(seed, spread, evaluations)
+			}
+		}
+		res, err := infmax.Greedy(celfCtx, svc.g, s.seedsProber(m), infmax.Config{
 			Seeds:          req.K,
 			MonteCarloRuns: req.MCRuns,
 			// The seed derives from the request fingerprint: identical
@@ -337,12 +396,19 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 			Seed:           sum,
 			Candidates:     cands,
 			MaxEvaluations: req.Budget,
-			Hooks:          s.seedsTestHooks,
+			Hooks:          hooks,
 		})
 		if err != nil {
 			call.status = http.StatusBadRequest
 			call.errMsg = err.Error()
+			celfSpan.SetStatus("error")
 			return
+		}
+		celfSpan.SetAttr("evaluations", res.Evaluations)
+		celfSpan.SetAttr("seeds", len(res.Seeds))
+		if res.Partial {
+			celfSpan.SetAttr("stopped", res.Stopped)
+			celfSpan.SetStatus("partial")
 		}
 		resp := &seedsResponse{
 			Seeds:       res.Seeds,

@@ -77,6 +77,13 @@ type Config struct {
 	// (default slog.Default()).
 	Logger *slog.Logger
 
+	// Trace configures the span tracer. The zero value enables tracing with
+	// the obs defaults (keep traces slower than 100ms, sample none of the
+	// rest, ring of 256); set Trace.Disabled to turn span collection off.
+	// The tracer also powers GET /debug/traces and the latency-histogram
+	// exemplars.
+	Trace obs.TracerConfig
+
 	// GraphPath is the diffusion graph edge list; setting it enables the
 	// POST /v1/seeds influence-maximization endpoint.
 	GraphPath string
@@ -124,10 +131,11 @@ func (c Config) withDefaults() Config {
 
 // Server serves influence queries over a hot-swappable embedding store.
 type Server struct {
-	cfg   Config
-	log   *slog.Logger
-	met   *serverMetrics
-	start time.Time
+	cfg    Config
+	log    *slog.Logger
+	met    *serverMetrics
+	tracer *obs.Tracer
+	start  time.Time
 
 	model    atomic.Pointer[model] // current store; swapped whole on reload
 	reloadMu sync.Mutex            // serializes reloads, not reads
@@ -161,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.met = newServerMetrics(s.start)
+	s.tracer = obs.NewTracer(cfg.Trace)
 	m, err := loadModel(cfg.ModelPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial model: %w", err)
@@ -193,6 +202,11 @@ func New(cfg Config) (*Server, error) {
 // expose it on an additional listener (e.g. the opt-in debug server) or add
 // process-level gauges of their own.
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
+
+// Tracer returns the server's span tracer, so an embedding process (the
+// pipeline daemon runs an in-process server) can parent its own spans in the
+// same ring and expose them on the same /debug/traces endpoint.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Reload loads and validates cfg.ModelPath and atomically swaps it in. On
 // any failure the previous model keeps serving and the error is returned.

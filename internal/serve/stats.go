@@ -98,6 +98,7 @@ func newServerMetrics(start time.Time) *serverMetrics {
 	reg.GaugeFunc("inf2vec_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(start).Seconds() })
 	obs.RegisterBuildInfo(reg, "inf2vec")
+	obs.RegisterRuntimeMetrics(reg)
 	return m
 }
 
@@ -145,6 +146,22 @@ type Snapshot struct {
 	// Seeds is the seed-selection subsystem's snapshot; nil when the server
 	// was started without a graph.
 	Seeds *SeedsSnapshot `json:"seeds,omitempty"`
+
+	// Runtime is the process-health snapshot (goroutines, heap, GC pauses),
+	// read through the same cached sampler as the /metrics runtime gauges.
+	Runtime obs.RuntimeStats `json:"runtime"`
+	// Tracing is the span tracer's state plus the per-route latency-bucket
+	// exemplars, so a statz reader can jump from a latency bucket straight
+	// to a trace ID.
+	Tracing TracingSnapshot `json:"tracing"`
+}
+
+// TracingSnapshot is the tracing portion of /debug/statz.
+type TracingSnapshot struct {
+	obs.TracerStats
+	// LatencyExemplars maps each route to the exemplars currently held by
+	// its latency-histogram buckets (only buckets that have one).
+	LatencyExemplars map[string][]obs.Exemplar `json:"latency_exemplars,omitempty"`
 }
 
 // SeedsSnapshot is the /v1/seeds portion of /debug/statz. Full, Partial,
@@ -191,8 +208,16 @@ func (s *Server) snapshot() Snapshot {
 			GraphEdges:  s.seeds.g.NumEdges(),
 		}
 	}
+	exemplars := make(map[string][]obs.Exemplar)
+	s.met.latency.EachSeries(func(labelValues []string, h *obs.Histogram) {
+		if ex := h.Exemplars(); len(ex) > 0 && len(labelValues) > 0 {
+			exemplars[labelValues[0]] = ex
+		}
+	})
 	return Snapshot{
 		Seeds:          seeds,
+		Runtime:        obs.RuntimeSnapshot(),
+		Tracing:        TracingSnapshot{TracerStats: s.tracer.Stats(), LatencyExemplars: exemplars},
 		InFlight:       int64(s.met.inFlight.Value()),
 		Served:         int64(s.met.served.Value()),
 		Shed:           int64(s.met.shed.Value()),

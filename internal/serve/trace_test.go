@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"inf2vec/internal/infmax"
+	"inf2vec/internal/obs"
+)
+
+// keepAllTraces configures the server tracer to retain every trace, so
+// tests can assert on exact contents.
+func keepAllTraces(c *Config) {
+	c.Trace = obs.TracerConfig{SampleRate: 1, SlowThreshold: -1}
+}
+
+// debugTraces fetches /debug/traces with the given query string.
+func debugTraces(t *testing.T, ts *httptest.Server, query string) []*obs.TraceRecord {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/debug/traces" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/traces%s: status %d", query, resp.StatusCode)
+	}
+	var body struct {
+		Stats  obs.TracerStats    `json:"stats"`
+		Traces []*obs.TraceRecord `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Traces
+}
+
+// TestTraceparentPropagationOverHTTP covers the W3C trace-context edge: a
+// valid inbound traceparent joins the caller's trace (same trace ID, fresh
+// span ID in the response header, parent link recorded), while garbage
+// starts a fresh trace — and the response always carries a valid
+// traceparent.
+func TestTraceparentPropagationOverHTTP(t *testing.T) {
+	s := newTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const inTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const inSpan = "00f067aa0ba902b7"
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/score?source=1&target=2", nil)
+	req.Header.Set("traceparent", "00-"+inTrace+"-"+inSpan+"-01")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	tp := resp.Header.Get("traceparent")
+	parsed, ok := obs.ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", tp)
+	}
+	if parsed.TraceID.String() != inTrace {
+		t.Fatalf("response trace ID %s, want the inbound %s", parsed.TraceID, inTrace)
+	}
+	if parsed.SpanID.String() == inSpan {
+		t.Fatal("response span ID equals the caller's; want the server's root span")
+	}
+	traces := debugTraces(t, ts, "?trace_id="+inTrace)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces for the joined ID, want 1", len(traces))
+	}
+	var root *obs.SpanRecord
+	for i, sp := range traces[0].Spans {
+		if sp.Name == "/v1/score" {
+			root = &traces[0].Spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatal("no /v1/score root span in the joined trace")
+	}
+	if root.ParentID != inSpan {
+		t.Fatalf("root span parent %q, want the caller's span %s", root.ParentID, inSpan)
+	}
+	if root.SpanID != parsed.SpanID.String() {
+		t.Fatalf("root span ID %s does not match the response traceparent %s", root.SpanID, parsed.SpanID)
+	}
+
+	// Garbage traceparent: fresh trace, valid response header.
+	for _, garbage := range []string{"ff-" + inTrace + "-" + inSpan + "-01", "not-a-traceparent", "00-" + strings.Repeat("0", 32) + "-" + inSpan + "-01"} {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/score?source=1&target=2", nil)
+		req.Header.Set("traceparent", garbage)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		parsed, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+		if !ok {
+			t.Fatalf("garbage %q: response traceparent %q invalid", garbage, resp.Header.Get("traceparent"))
+		}
+		if parsed.TraceID.String() == inTrace {
+			t.Fatalf("garbage %q joined the inbound trace", garbage)
+		}
+	}
+}
+
+// TestRequestIDIsTraceIDWhenClientSendsNeither pins the correlation-ID
+// unification: with no inbound X-Request-Id and no traceparent, the request
+// ID IS the trace ID — one value in the response headers, the error body
+// and the retained trace.
+func TestRequestIDIsTraceIDWhenClientSendsNeither(t *testing.T) {
+	s := newTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/score?source=1&target=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-Id")
+	parsed, ok := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q invalid", resp.Header.Get("traceparent"))
+	}
+	if id != parsed.TraceID.String() {
+		t.Fatalf("X-Request-Id %q != trace ID %q; correlation IDs are split", id, parsed.TraceID)
+	}
+	if traces := debugTraces(t, ts, "?trace_id="+id); len(traces) != 1 {
+		t.Fatalf("request ID %q does not look up the trace", id)
+	}
+}
+
+// TestSeedsTraceAcceptance is the PR's acceptance criterion, end to end: a
+// traced /v1/seeds request yields a /debug/traces trace containing the
+// shortlist, cache-lookup and at least one CELF evaluation child span, and
+// the root span's duration equals the latency-histogram observation whose
+// bucket exemplar carries the same trace ID.
+func TestSeedsTraceAcceptance(t *testing.T) {
+	s, _ := newSeedsTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out seedsResponse
+	if code := postSeeds(t, ts, "", `{"k":2,"policy":"all","mc_runs":25}`, &out); code != http.StatusOK {
+		t.Fatalf("seeds status %d", code)
+	}
+	traces := debugTraces(t, ts, "?root=/v1/seeds")
+	if len(traces) != 1 {
+		t.Fatalf("got %d /v1/seeds traces, want 1", len(traces))
+	}
+	rec := traces[0]
+
+	spansByName := make(map[string][]obs.SpanRecord)
+	spansByID := make(map[string]obs.SpanRecord)
+	for _, sp := range rec.Spans {
+		spansByName[sp.Name] = append(spansByName[sp.Name], sp)
+		spansByID[sp.SpanID] = sp
+	}
+	for _, want := range []string{"/v1/seeds", "shortlist", "cache_lookup", "celf", "celf_evals"} {
+		if len(spansByName[want]) == 0 {
+			t.Fatalf("trace is missing a %q span; has %v", want, rec.Spans)
+		}
+	}
+	if hit := spansByName["cache_lookup"][0].Attrs["hit"]; hit != false {
+		t.Fatalf("first request's cache_lookup hit attr = %v, want false", hit)
+	}
+	celf := spansByName["celf"][0]
+	for _, evals := range spansByName["celf_evals"] {
+		if evals.ParentID != celf.SpanID {
+			t.Fatalf("celf_evals span is not a child of celf")
+		}
+	}
+	if selects := len(celf.Events); selects != len(out.Seeds) {
+		t.Fatalf("celf span has %d select events for %d seeds", selects, len(out.Seeds))
+	}
+
+	// Exemplar correlation: the /v1/seeds latency bucket holding this
+	// observation must carry this trace's ID, and the observed value must be
+	// the root span's exact duration.
+	var ex *obs.Exemplar
+	for _, e := range s.met.latency.With("/v1/seeds").Exemplars() {
+		if e.TraceID == rec.TraceID {
+			e := e
+			ex = &e
+		}
+	}
+	if ex == nil {
+		t.Fatalf("no latency bucket exemplar carries trace %s", rec.TraceID)
+	}
+	if diff := math.Abs(ex.Value - rec.DurationMS/1000); diff > 1e-9 {
+		t.Fatalf("exemplar value %v != root duration %vms (diff %v)", ex.Value, rec.DurationMS, diff)
+	}
+
+	// Second identical request: answered from the result cache, traced with
+	// a cache hit and no CELF work.
+	if code := postSeeds(t, ts, "", `{"k":2,"policy":"all","mc_runs":25}`, &out); code != http.StatusOK {
+		t.Fatalf("cached seeds status %d", code)
+	}
+	traces = debugTraces(t, ts, "?root=/v1/seeds")
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces after second request, want 2", len(traces))
+	}
+	names := make(map[string]int)
+	var hit any
+	for _, sp := range traces[0].Spans { // newest first
+		names[sp.Name]++
+		if sp.Name == "cache_lookup" {
+			hit = sp.Attrs["hit"]
+		}
+	}
+	if hit != true {
+		t.Fatalf("cached request's cache_lookup hit attr = %v, want true", hit)
+	}
+	if names["celf"] != 0 {
+		t.Fatal("cached request ran CELF")
+	}
+	if open := s.Tracer().OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open", open)
+	}
+}
+
+// TestSeedsDeadlineExpiryClosesSpanTree expires the request deadline mid-
+// CELF and asserts the span tree still closes completely, with the celf
+// span flagged partial and carrying the stop reason.
+func TestSeedsDeadlineExpiryClosesSpanTree(t *testing.T) {
+	s, _ := newSeedsTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.seedsTestHooks = infmax.Hooks{BeforeEval: func(eval int, seeds []int32) error {
+		if eval >= 12 {
+			time.Sleep(250 * time.Millisecond)
+		}
+		return nil
+	}}
+	var out seedsResponse
+	if code := postSeeds(t, ts, "?timeout_ms=100", `{"k":3,"policy":"all","mc_runs":30}`, &out); code != http.StatusOK {
+		t.Fatalf("interrupted seeds status %d, want 200", code)
+	}
+	if !out.Partial || out.Stopped != infmax.StopDeadline {
+		t.Fatalf("want partial/deadline, got %+v", out)
+	}
+	waitFor(t, 5*time.Second, func() bool { return s.Tracer().OpenSpans() == 0 },
+		"all spans to close after the deadline expiry")
+
+	traces := debugTraces(t, ts, "?root=/v1/seeds")
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	var celf *obs.SpanRecord
+	evals := 0
+	for i, sp := range traces[0].Spans {
+		if sp.Name == "celf" {
+			celf = &traces[0].Spans[i]
+		}
+		if sp.Name == "celf_evals" {
+			evals++
+		}
+	}
+	if celf == nil {
+		t.Fatal("no celf span in the interrupted trace")
+	}
+	if celf.Status != "partial" {
+		t.Fatalf("interrupted celf span status %q, want partial", celf.Status)
+	}
+	if celf.Attrs["stopped"] != string(infmax.StopDeadline) {
+		t.Fatalf("celf stopped attr = %v, want %s", celf.Attrs["stopped"], infmax.StopDeadline)
+	}
+	if evals == 0 {
+		t.Fatal("interrupted run left no celf_evals span despite evaluating")
+	}
+}
+
+// TestStatzCarriesRuntimeAndTracing asserts the /debug/statz snapshot's new
+// sections: runtime health gauges and the tracer's stats with per-route
+// latency exemplars.
+func TestStatzCarriesRuntimeAndTracing(t *testing.T) {
+	s := newTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/score?source=1&target=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap)
+	if snap.Runtime.Goroutines <= 0 || snap.Runtime.HeapBytes <= 0 || snap.Runtime.GOMAXPROCS <= 0 {
+		t.Fatalf("runtime snapshot not populated: %+v", snap.Runtime)
+	}
+	if snap.Tracing.Started == 0 || snap.Tracing.Kept == 0 {
+		t.Fatalf("tracer stats not populated: %+v", snap.Tracing.TracerStats)
+	}
+	exs := snap.Tracing.LatencyExemplars["/v1/score"]
+	if len(exs) == 0 {
+		t.Fatal("no /v1/score latency exemplars in statz")
+	}
+	if exs[0].TraceID == "" || exs[0].Value <= 0 {
+		t.Fatalf("malformed exemplar: %+v", exs[0])
+	}
+}

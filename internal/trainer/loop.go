@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"inf2vec/internal/obs"
 )
 
 // ErrDiverged is returned by Run when a pass produces a non-finite loss or
@@ -122,12 +124,21 @@ func Run(ctx context.Context, cfg RunConfig, pass func(done <-chan struct{}, epo
 			lr = cfg.LearningRate(epoch)
 		}
 		emit(Event{Kind: EventEpochStart, Epoch: epoch + 1, LearningRate: lr})
+		// Each pass is a span when ctx carries one (inert otherwise), so a
+		// traced experiment or pipeline round shows per-epoch latency with
+		// the same loss/throughput figures as the telemetry stream.
+		_, span := obs.StartSpan(ctx, "epoch")
+		span.SetAttr("method", cfg.Method)
+		span.SetAttr("epoch", epoch+1)
+		span.SetAttr("lr", lr)
 		t0 := time.Now()
 		totals := pass(done, epoch)
 		if ctx.Err() != nil {
 			// Canceled mid-pass: the parameters hold a usable partial update
 			// but not an epoch boundary, so the pass is not recorded.
 			res.Canceled = true
+			span.SetStatus("canceled")
+			span.End()
 			emit(Event{Kind: EventTrainEnd, Epochs: epoch, Canceled: true})
 			return res, nil
 		}
@@ -140,12 +151,19 @@ func Run(ctx context.Context, cfg RunConfig, pass func(done <-chan struct{}, epo
 		if s := stat.Duration.Seconds(); s > 0 {
 			perSec = float64(totals.Examples) / s
 		}
+		diverged := math.IsNaN(stat.Loss) || math.IsInf(stat.Loss, 0) || (cfg.Probe != nil && cfg.Probe())
+		span.SetAttr("loss", stat.Loss)
+		span.SetAttr("examples_per_sec", perSec)
+		if diverged {
+			span.SetStatus("error")
+		}
+		span.End()
 		emit(Event{
 			Kind: EventEpochEnd, Epoch: epoch + 1, Loss: stat.Loss,
 			DurationSeconds: stat.Duration.Seconds(), ExamplesPerSec: perSec,
 			LearningRate: lr, Examples: stat.Examples, Skips: stat.Skips,
 		})
-		if math.IsNaN(stat.Loss) || math.IsInf(stat.Loss, 0) || (cfg.Probe != nil && cfg.Probe()) {
+		if diverged {
 			return nil, fmt.Errorf("%w: non-finite state after epoch %d", ErrDiverged, epoch+1)
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math"
 	"testing"
+
+	"inf2vec/internal/obs"
 )
 
 // TestRunEpochLoop covers the happy path: stats per epoch, mean loss,
@@ -71,6 +73,79 @@ func TestRunCancellation(t *testing.T) {
 	}
 	if last.Kind != EventTrainEnd || !last.Canceled || last.Epochs != 2 {
 		t.Fatalf("final event = %+v", last)
+	}
+}
+
+// TestRunEpochSpans traces a run and asserts each pass became an "epoch"
+// child span carrying the same loss/throughput figures as the telemetry
+// stream, with a mid-pass cancellation closing the in-flight span as
+// canceled rather than leaking it.
+func TestRunEpochSpans(t *testing.T) {
+	tracer := obs.NewTracer(obs.TracerConfig{SampleRate: 1, SlowThreshold: -1})
+	ctx, root := tracer.StartRoot(context.Background(), "baseline")
+	res, err := Run(ctx, RunConfig{Method: "demo", Epochs: 3}, func(done <-chan struct{}, epoch int) Totals {
+		return Totals{Loss: -2 * float64(epoch+1), Examples: 2}
+	})
+	if err != nil || len(res.Epochs) != 3 {
+		t.Fatalf("run: %+v, %v", res, err)
+	}
+	root.End()
+	traces := tracer.Traces(obs.TraceFilter{Root: "baseline"})
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	var epochs []obs.SpanRecord
+	for _, s := range traces[0].Spans {
+		if s.Name == "epoch" {
+			epochs = append(epochs, s)
+		}
+	}
+	if len(epochs) != 3 {
+		t.Fatalf("got %d epoch spans, want 3", len(epochs))
+	}
+	for i, s := range epochs {
+		if s.Attrs["method"] != "demo" || s.Attrs["epoch"] != i+1 {
+			t.Fatalf("epoch span %d attrs = %v", i, s.Attrs)
+		}
+		if s.Attrs["loss"] != -float64(i+1) {
+			t.Fatalf("epoch span %d loss = %v, want %v", i, s.Attrs["loss"], -float64(i+1))
+		}
+		if s.Status != "" {
+			t.Fatalf("epoch span %d status = %q", i, s.Status)
+		}
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open", open)
+	}
+
+	// Mid-pass cancellation: the draining pass's span closes as canceled.
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx2, root2 := tracer.StartRoot(cctx, "baseline_cancel")
+	res, err = Run(ctx2, RunConfig{Method: "demo", Epochs: 5}, func(done <-chan struct{}, epoch int) Totals {
+		if epoch == 1 {
+			cancel()
+		}
+		return Totals{Loss: -1, Examples: 1}
+	})
+	if err != nil || !res.Canceled {
+		t.Fatalf("canceled run: %+v, %v", res, err)
+	}
+	root2.End()
+	traces = tracer.Traces(obs.TraceFilter{Root: "baseline_cancel"})
+	if len(traces) != 1 {
+		t.Fatalf("got %d cancel traces, want 1", len(traces))
+	}
+	var statuses []string
+	for _, s := range traces[0].Spans {
+		if s.Name == "epoch" {
+			statuses = append(statuses, s.Status)
+		}
+	}
+	if len(statuses) != 2 || statuses[0] != "" || statuses[1] != "canceled" {
+		t.Fatalf("epoch span statuses = %v, want [ \"\" canceled ]", statuses)
+	}
+	if open := tracer.OpenSpans(); open != 0 {
+		t.Fatalf("%d spans still open after cancellation", open)
 	}
 }
 
