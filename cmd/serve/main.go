@@ -5,6 +5,7 @@
 //
 //	serve -model model.i2v [-addr :8080] [-timeout 2s] [-max-timeout 30s]
 //	      [-max-inflight 256] [-drain-timeout 10s]
+//	      [-topk-index exact|ivf] [-topk-nprobe 0] [-topk-shadow-every 256]
 //	      [-graph graph.edges] [-seeds-max-inflight 2] [-seeds-cache 128]
 //	      [-seeds-offset -2]
 //
@@ -16,6 +17,14 @@
 //	POST /v1/seeds  {"k":K,"budget":B,...}           anytime CELF seed selection
 //	                                                 (requires -graph)
 //	GET  /healthz   GET /readyz   GET /debug/statz   GET /metrics
+//
+// /v1/topk has two serving modes (-topk-index): "exact" scans the whole
+// universe per request; "ivf" serves from a sharded cluster-pruned ANN index
+// built at model load (and rebuilt on SIGHUP) whose surviving candidates are
+// exactly rescored, so returned scores and tie-breaks match exact mode.
+// -topk-nprobe widens the per-shard cluster sweep (recall vs. latency), and
+// one in every -topk-shadow-every answers is shadow-compared against the
+// exact scan to feed the inf2vec_topk_recall_at_k gauge.
 //
 // Seed selection is the server's most expensive workload, so it runs behind
 // its own small concurrency limit (-seeds-max-inflight) with singleflight
@@ -63,6 +72,9 @@ func run(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap for the per-request ?timeout_ms= override")
 	maxInFlight := fs.Int("max-inflight", 256, "concurrent API requests before load shedding (429)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful drain bound on SIGINT/SIGTERM")
+	topkIndex := fs.String("topk-index", serve.TopKIndexExact, "top-k serving mode: exact (full scan) or ivf (sharded ANN index with exact rescore)")
+	topkNProbe := fs.Int("topk-nprobe", 0, "clusters probed per index shard in ivf mode; 0 uses the index default")
+	topkShadowEvery := fs.Int("topk-shadow-every", 0, "shadow-compare one in N ivf answers against the exact scan; 0 uses the default (256), negative disables")
 	graphPath := fs.String("graph", "", "diffusion graph edge list; enables POST /v1/seeds")
 	seedsMaxInFlight := fs.Int("seeds-max-inflight", 2, "concurrent seed selections before shedding (429)")
 	seedsCache := fs.Int("seeds-cache", 128, "LRU capacity for finished seed selections")
@@ -100,6 +112,10 @@ func run(args []string) error {
 		DrainTimeout:   *drainTimeout,
 		Logger:         logger,
 		Trace:          traceCfg,
+
+		TopKIndex:       *topkIndex,
+		TopKNProbe:      *topkNProbe,
+		TopKShadowEvery: *topkShadowEvery,
 
 		GraphPath:        *graphPath,
 		SeedsMaxInFlight: *seedsMaxInFlight,

@@ -1,0 +1,252 @@
+package ann
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Binary persistence for the index, following the embed store's conventions:
+// versioned, endianness-fixed, CRC-trailed, with read-driven allocation so a
+// corrupt header can never demand more memory than the stream delivers.
+//
+//	magic "I2VANN" | version byte (1) | reserved zero byte |
+//	int32 n | int32 dim | int32 nprobe | int32 shardCount | uint64 seed |
+//	per shard:
+//	  int32 lo | int32 hi | int32 clusterCount | int32 residualCount |
+//	  clusterCount x int32 member counts |
+//	  centroids (clusterCount*dim float32) |
+//	  member IDs (int32, cluster by cluster) | residual IDs (int32) |
+//	uint32 CRC-32 (IEEE) of every preceding byte
+//
+// Load fully re-validates the structure — shards must tile [0, n)
+// contiguously, per-shard counts must sum to the shard's row span, and every
+// member/residual ID must appear exactly once inside its shard's range — so
+// a Loaded index upholds the same invariants a Built one does, and a
+// corrupted file is rejected rather than served.
+var indexMagic = [6]byte{'I', '2', 'V', 'A', 'N', 'N'}
+
+const indexVersion = 1
+
+// ErrBadIndex is returned by Load when the input is not an index written by
+// Save (wrong magic, unsupported version, inconsistent structure, truncated
+// body, CRC mismatch, or trailing garbage).
+var ErrBadIndex = errors.New("ann: not a valid index file")
+
+// Save writes the index to w in the package binary format, including the
+// CRC-32 trailer.
+func (ix *Index) Save(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	hdr := [8]byte{indexMagic[0], indexMagic[1], indexMagic[2], indexMagic[3], indexMagic[4], indexMagic[5], indexVersion, 0}
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ann: save: %w", err)
+	}
+	head := [4]int32{ix.n, int32(ix.dim), int32(ix.nprobe), int32(len(ix.shards))}
+	if err := binary.Write(mw, binary.LittleEndian, head[:]); err != nil {
+		return fmt.Errorf("ann: save: %w", err)
+	}
+	if err := binary.Write(mw, binary.LittleEndian, ix.seed); err != nil {
+		return fmt.Errorf("ann: save: %w", err)
+	}
+	for si := range ix.shards {
+		sh := &ix.shards[si]
+		shHead := [4]int32{sh.lo, sh.hi, int32(len(sh.members)), int32(len(sh.residual))}
+		if err := binary.Write(mw, binary.LittleEndian, shHead[:]); err != nil {
+			return fmt.Errorf("ann: save: %w", err)
+		}
+		counts := make([]int32, len(sh.members))
+		for ci, m := range sh.members {
+			counts[ci] = int32(len(m))
+		}
+		if err := binary.Write(mw, binary.LittleEndian, counts); err != nil {
+			return fmt.Errorf("ann: save: %w", err)
+		}
+		if err := binary.Write(mw, binary.LittleEndian, sh.centroids); err != nil {
+			return fmt.Errorf("ann: save: %w", err)
+		}
+		for _, m := range sh.members {
+			if err := binary.Write(mw, binary.LittleEndian, m); err != nil {
+				return fmt.Errorf("ann: save: %w", err)
+			}
+		}
+		if err := binary.Write(mw, binary.LittleEndian, sh.residual); err != nil {
+			return fmt.Errorf("ann: save: %w", err)
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return fmt.Errorf("ann: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads an index written by Save, consuming r exactly, verifying the
+// CRC trailer and re-validating every structural invariant.
+func Load(r io.Reader) (*Index, error) {
+	base := r
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadIndex, err)
+	}
+	if [6]byte(hdr[:6]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadIndex, hdr[:6])
+	}
+	if hdr[6] != indexVersion || hdr[7] != 0 {
+		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadIndex, hdr[6])
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	r = io.TeeReader(base, crcSink{&crc})
+	var head [4]int32
+	if err := binary.Read(r, binary.LittleEndian, head[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadIndex, err)
+	}
+	n, dim, nprobe, shardCount := head[0], int(head[1]), int(head[2]), int(head[3])
+	if n <= 0 || dim <= 1 || nprobe <= 0 || shardCount <= 0 || shardCount > maxShards || int32(shardCount) > n {
+		return nil, fmt.Errorf("%w: bad header n=%d dim=%d nprobe=%d shards=%d", ErrBadIndex, n, dim, nprobe, shardCount)
+	}
+	var seed uint64
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return nil, fmt.Errorf("%w: reading seed: %v", ErrBadIndex, err)
+	}
+	ix := &Index{n: n, dim: dim, nprobe: nprobe, seed: seed, shards: make([]shard, shardCount)}
+	nextLo := int32(0)
+	for si := 0; si < shardCount; si++ {
+		var shHead [4]int32
+		if err := binary.Read(r, binary.LittleEndian, shHead[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading shard %d header: %v", ErrBadIndex, si, err)
+		}
+		lo, hi, clusters, residuals := shHead[0], shHead[1], int(shHead[2]), int(shHead[3])
+		if lo != nextLo || hi < lo || hi > n {
+			return nil, fmt.Errorf("%w: shard %d range [%d,%d) breaks the partition of [0,%d)", ErrBadIndex, si, lo, hi, n)
+		}
+		rows := int64(hi - lo)
+		if clusters < 0 || int64(clusters) > rows || clusters > maxClustersPerShard || int64(residuals) > rows {
+			return nil, fmt.Errorf("%w: shard %d has %d clusters / %d residuals over %d rows", ErrBadIndex, si, clusters, residuals, rows)
+		}
+		counts, err := readInt32Block(r, int64(clusters))
+		if err != nil {
+			return nil, err
+		}
+		total := int64(residuals)
+		for _, c := range counts {
+			if c < 0 {
+				return nil, fmt.Errorf("%w: shard %d negative member count", ErrBadIndex, si)
+			}
+			total += int64(c)
+		}
+		if total != rows {
+			return nil, fmt.Errorf("%w: shard %d accounts for %d of %d rows", ErrBadIndex, si, total, rows)
+		}
+		sh := &ix.shards[si]
+		sh.lo, sh.hi = lo, hi
+		if sh.centroids, err = readFloat32Block(r, int64(clusters)*int64(dim)); err != nil {
+			return nil, err
+		}
+		sh.members = make([][]int32, clusters)
+		for ci, c := range counts {
+			if sh.members[ci], err = readInt32Block(r, int64(c)); err != nil {
+				return nil, err
+			}
+		}
+		if sh.residual, err = readInt32Block(r, int64(residuals)); err != nil {
+			return nil, err
+		}
+		// Every row of [lo, hi) must appear exactly once across member lists
+		// and residuals; the bitmap catches both duplicates and strays. It is
+		// allocated only now, after the ID blocks were actually read, so its
+		// size is bounded by bytes the stream delivered — a crafted header
+		// claiming a huge row span fails at the reads above instead of
+		// forcing a gigabyte allocation here.
+		seen := make([]bool, rows)
+		claim := func(ids []int32) error {
+			for _, v := range ids {
+				if v < lo || v >= hi {
+					return fmt.Errorf("%w: shard %d member %d outside [%d,%d)", ErrBadIndex, si, v, lo, hi)
+				}
+				if seen[v-lo] {
+					return fmt.Errorf("%w: shard %d member %d listed twice", ErrBadIndex, si, v)
+				}
+				seen[v-lo] = true
+			}
+			return nil
+		}
+		for _, m := range sh.members {
+			if err := claim(m); err != nil {
+				return nil, err
+			}
+		}
+		if err := claim(sh.residual); err != nil {
+			return nil, err
+		}
+		nextLo = hi
+	}
+	if nextLo != n {
+		return nil, fmt.Errorf("%w: shards cover [0,%d) of [0,%d)", ErrBadIndex, nextLo, n)
+	}
+	var trail [4]byte
+	if _, err := io.ReadFull(base, trail[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading CRC trailer: %v", ErrBadIndex, err)
+	}
+	if got, want := crc, binary.LittleEndian.Uint32(trail[:]); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrBadIndex, want, got)
+	}
+	var extra [1]byte
+	if n, err := io.ReadFull(base, extra[:]); n != 0 || err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing garbage after body", ErrBadIndex)
+	}
+	return ix, nil
+}
+
+// crcSink accumulates the IEEE CRC-32 of every byte teed through it.
+type crcSink struct{ sum *uint32 }
+
+func (c crcSink) Write(p []byte) (int, error) {
+	*c.sum = crc32.Update(*c.sum, crc32.IEEETable, p)
+	return len(p), nil
+}
+
+// readInt32Block reads n little-endian int32s with bounded-chunk, read-driven
+// allocation.
+func readInt32Block(r io.Reader, n int64) ([]int32, error) {
+	if n == 0 {
+		// A built index leaves empty member/residual lists nil; mirror that
+		// so a round-tripped index is deeply equal to its original.
+		return nil, nil
+	}
+	const chunk = 1 << 16
+	out := make([]int32, 0, min(n, chunk))
+	buf := make([]byte, 4*min(n, chunk))
+	for int64(len(out)) < n {
+		want := min(n-int64(len(out)), chunk)
+		if _, err := io.ReadFull(r, buf[:4*want]); err != nil {
+			return nil, fmt.Errorf("%w: reading body: %v", ErrBadIndex, err)
+		}
+		for i := int64(0); i < want; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readFloat32Block reads n little-endian float32s the same way.
+func readFloat32Block(r io.Reader, n int64) ([]float32, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	const chunk = 1 << 16
+	out := make([]float32, 0, min(n, chunk))
+	buf := make([]byte, 4*min(n, chunk))
+	for int64(len(out)) < n {
+		want := min(n-int64(len(out)), chunk)
+		if _, err := io.ReadFull(r, buf[:4*want]); err != nil {
+			return nil, fmt.Errorf("%w: reading body: %v", ErrBadIndex, err)
+		}
+		for i := int64(0); i < want; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}

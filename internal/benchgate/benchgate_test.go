@@ -118,12 +118,16 @@ func TestCheckDirsEndToEnd(t *testing.T) {
 		`{"evaluations_per_second": 8000, "seeds_p50_s": 0.017, "seeds_p99_s": 0.018, "benchmark": "infmax_celf"}`)
 	writeReport(t, baseDir, "BENCH_pipeline.json",
 		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
+	writeReport(t, baseDir, "BENCH_ann.json",
+		`{"topk_ivf_p50_100k_s": 0.0003, "topk_ivf_p99_100k_s": 0.0005, "topk_speedup_100k": 6.7, "recall_at_10_100k": 0.98}`)
 
 	// Fresh run: everything slightly better or equal — clean.
 	writeReport(t, freshDir, "BENCH_infmax.json",
 		`{"evaluations_per_second": 8100, "seeds_p50_s": 0.016, "seeds_p99_s": 0.018}`)
 	writeReport(t, freshDir, "BENCH_pipeline.json",
 		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
+	writeReport(t, freshDir, "BENCH_ann.json",
+		`{"topk_ivf_p50_100k_s": 0.0003, "topk_ivf_p99_100k_s": 0.0005, "topk_speedup_100k": 6.9, "recall_at_10_100k": 0.98}`)
 	regs, err := CheckDirs(baseDir, freshDir, 0.20)
 	if err != nil {
 		t.Fatal(err)

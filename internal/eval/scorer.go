@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrUserRange is returned by Scorer methods when a user ID falls outside
@@ -53,6 +53,12 @@ func (s *Scorer) checkUsers(users ...int32) error {
 	}
 	return nil
 }
+
+// CheckUsers validates that every ID lies in the scorer's universe, so
+// callers that index the model directly (the ANN query path reads S_u before
+// any scoring call) can reject untrusted IDs with the same error the scoring
+// methods return.
+func (s *Scorer) CheckUsers(users ...int32) error { return s.checkUsers(users...) }
 
 // Pair returns the learned influence affinity x(u,v).
 func (s *Scorer) Pair(u, v int32) (float64, error) {
@@ -124,21 +130,79 @@ func (h *topkHeap) push(cand Ranked, k int) {
 		return
 	}
 	s[0] = cand
-	// Sift down towards the worse-ranked child.
-	for i := 0; ; {
+	s.siftDown(0, len(s))
+}
+
+// siftDown restores the heap invariant (worst-ranked entry at the root) for
+// the subtree rooted at i, considering only h[:size].
+func (h topkHeap) siftDown(i, size int) {
+	for {
 		worst := i
-		if l := 2*i + 1; l < len(s) && rankBefore(s[worst], s[l]) {
+		if l := 2*i + 1; l < size && rankBefore(h[worst], h[l]) {
 			worst = l
 		}
-		if r := 2*i + 2; r < len(s) && rankBefore(s[worst], s[r]) {
+		if r := 2*i + 2; r < size && rankBefore(h[worst], h[r]) {
 			worst = r
 		}
 		if worst == i {
-			break
+			return
 		}
-		s[i], s[worst] = s[worst], s[i]
+		h[i], h[worst] = h[worst], h[i]
 		i = worst
 	}
+}
+
+// sortRanked orders a filled topkHeap best-first in place by repeated root
+// extraction (classic heapsort over the existing invariant). rankBefore is a
+// strict total order, so the result is the unique ranking — identical to
+// what sort.Slice over rankBefore produced before, without sort.Slice's
+// per-call closure and reflection allocations, which matters because the
+// serving path promises an allocation-free scan.
+func sortRanked(h topkHeap) {
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		h.siftDown(0, end)
+	}
+}
+
+// smallSeedMax is the seed-set size up to and including which the scan keeps
+// its seed-membership table and per-candidate score scratch on the stack.
+// /v1/topk traffic is overwhelmingly single-seed, so this is the hot case.
+const smallSeedMax = 8
+
+// seedTables builds the scan's seed-membership table and score scratch into
+// the caller's stack arrays when the seed set is small (the dominant
+// single-seed case), falling back to heap structures past smallSeedMax. The
+// arrays are declared in the caller rather than bundled into a struct: a
+// struct whose fields alias its own arrays is self-referential, which forces
+// the whole scratch to the heap and defeats the zero-allocation scan.
+func seedTables(seeds []int32, sortedArr *[smallSeedMax]int32, xsArr *[smallSeedMax]float64) (sorted []int32, isSeed map[int32]bool, xs []float64) {
+	if len(seeds) <= smallSeedMax {
+		sorted = sortedArr[:len(seeds)]
+		copy(sorted, seeds)
+		slices.Sort(sorted)
+		return sorted, nil, xsArr[:len(seeds)]
+	}
+	isSeed = make(map[int32]bool, len(seeds))
+	for _, u := range seeds {
+		isSeed[u] = true
+	}
+	return nil, isSeed, make([]float64, len(seeds))
+}
+
+// isSeedOf reports whether v is a seed: a linear sweep of the ascending
+// small-path slice (at most smallSeedMax entries, faster than a map probe
+// and allocation-free), or a map probe on the large path.
+func isSeedOf(sorted []int32, isSeed map[int32]bool, v int32) bool {
+	if isSeed != nil {
+		return isSeed[v]
+	}
+	for _, u := range sorted {
+		if u >= v {
+			return u == v
+		}
+	}
+	return false
 }
 
 // TopInfluenced scores every non-seed user of the universe against the
@@ -150,6 +214,15 @@ func (h *topkHeap) push(cand Ranked, k int) {
 // few thousand users), so a serving deadline bounds the worst-case latency
 // of a full-universe ranking.
 func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregator, topK int) ([]Ranked, error) {
+	return s.TopInfluencedInto(ctx, seeds, agg, topK, nil)
+}
+
+// TopInfluencedInto is TopInfluenced with a caller-supplied result buffer:
+// the returned slice is built inside buf's backing array when its capacity
+// covers min(topK, universe), so a caller that recycles buffers (the serving
+// hot path) runs the whole scan with zero allocations. buf's contents are
+// ignored; passing nil is equivalent to TopInfluenced.
+func (s *Scorer) TopInfluencedInto(ctx context.Context, seeds []int32, agg Aggregator, topK int, buf []Ranked) ([]Ranked, error) {
 	if topK <= 0 {
 		return nil, fmt.Errorf("eval: topK %d must be positive", topK)
 	}
@@ -159,19 +232,22 @@ func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregato
 	if err := s.checkUsers(seeds...); err != nil {
 		return nil, err
 	}
-	isSeed := make(map[int32]bool, len(seeds))
-	for _, u := range seeds {
-		isSeed[u] = true
+	var (
+		sortedArr [smallSeedMax]int32
+		xsArr     [smallSeedMax]float64
+	)
+	sorted, isSeed, xs := seedTables(seeds, &sortedArr, &xsArr)
+	top := topkHeap(buf[:0])
+	if want := min(topK, int(s.n)); cap(top) < want {
+		top = make(topkHeap, 0, want)
 	}
-	xs := make([]float64, len(seeds))
-	top := make(topkHeap, 0, min(topK, int(s.n)))
 	for v := int32(0); v < s.n; v++ {
 		if v&0x1FFF == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		if isSeed[v] {
+		if isSeedOf(sorted, isSeed, v) {
 			continue
 		}
 		for i, u := range seeds {
@@ -183,6 +259,79 @@ func (s *Scorer) TopInfluenced(ctx context.Context, seeds []int32, agg Aggregato
 		}
 		top.push(Ranked{User: v, Score: y}, topK)
 	}
-	sort.Slice(top, func(i, j int) bool { return rankBefore(top[i], top[j]) })
+	sortRanked(top)
 	return top, nil
+}
+
+// TopAmong is TopInfluenced restricted to an explicit candidate list: only
+// the given candidates are scored (seeds among them are skipped), through the
+// same aggregation, heap and rankBefore total order as the full scan — so a
+// candidate generator that covers the true top-k yields bit-identical
+// rankings to exact mode. It is the exact-rescore half of the ANN serving
+// path: the index prunes the universe to survivors, TopAmong scores the
+// survivors exactly. Candidates are expected to be distinct; a duplicate is
+// scored each time it appears.
+func (s *Scorer) TopAmong(ctx context.Context, seeds []int32, agg Aggregator, topK int, candidates []int32) ([]Ranked, error) {
+	if topK <= 0 {
+		return nil, fmt.Errorf("eval: topK %d must be positive", topK)
+	}
+	if len(seeds) == 0 {
+		return nil, ErrNoScores
+	}
+	if err := s.checkUsers(seeds...); err != nil {
+		return nil, err
+	}
+	var (
+		sortedArr [smallSeedMax]int32
+		xsArr     [smallSeedMax]float64
+	)
+	sorted, isSeed, xs := seedTables(seeds, &sortedArr, &xsArr)
+	top := make(topkHeap, 0, min(topK, len(candidates)))
+	for i, v := range candidates {
+		if i&0x1FFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if v < 0 || v >= s.n {
+			return nil, fmt.Errorf("%w: candidate %d outside [0,%d)", ErrUserRange, v, s.n)
+		}
+		if isSeedOf(sorted, isSeed, v) {
+			continue
+		}
+		for j, u := range seeds {
+			xs[j] = s.ps.Score(u, v)
+		}
+		y, err := agg.Aggregate(xs)
+		if err != nil {
+			return nil, err
+		}
+		top.push(Ranked{User: v, Score: y}, topK)
+	}
+	sortRanked(top)
+	return top, nil
+}
+
+// MergeRanked merges independently ranked lists (each entry carrying a final
+// score) into the overall topK, under the same rankBefore total order the
+// scans use. It is the gather half of scatter-gather serving: per-shard
+// TopAmong results merge into one ranking identical to scoring the union in
+// a single scan. Entries are assumed to describe distinct users across
+// lists, which the ANN index guarantees by sharding on user-ID range.
+func MergeRanked(topK int, lists ...[]Ranked) []Ranked {
+	if topK <= 0 {
+		return nil
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	top := make(topkHeap, 0, min(topK, total))
+	for _, l := range lists {
+		for _, r := range l {
+			top.push(r, topK)
+		}
+	}
+	sortRanked(top)
+	return top
 }

@@ -6,6 +6,9 @@ import (
 	"math"
 	"sort"
 	"testing"
+
+	"inf2vec/internal/embed"
+	"inf2vec/internal/rng"
 )
 
 // pairFunc adapts a function to PairScorer for tests.
@@ -225,4 +228,251 @@ func TestScorerTopInfluencedNaN(t *testing.T) {
 	check(20, []int32{9, 7, 5, 3, 0, 2, 4, 6, 8})
 	check(6, []int32{9, 7, 5, 3, 0, 2})
 	check(3, []int32{9, 7, 5})
+}
+
+// refTopInfluenced is the pre-PR-9 TopInfluenced, kept verbatim as the golden
+// reference: per-request isSeed map, per-request xs slice, bounded heap, and
+// a final sort.Slice over rankBefore.
+func refTopInfluenced(s *Scorer, seeds []int32, agg Aggregator, topK int) ([]Ranked, error) {
+	isSeed := make(map[int32]bool, len(seeds))
+	for _, u := range seeds {
+		isSeed[u] = true
+	}
+	xs := make([]float64, len(seeds))
+	top := make(topkHeap, 0, min(topK, int(s.n)))
+	for v := int32(0); v < s.n; v++ {
+		if isSeed[v] {
+			continue
+		}
+		for i, u := range seeds {
+			xs[i] = s.ps.Score(u, v)
+		}
+		y, err := agg.Aggregate(xs)
+		if err != nil {
+			return nil, err
+		}
+		top.push(Ranked{User: v, Score: y}, topK)
+	}
+	sort.Slice(top, func(i, j int) bool { return rankBefore(top[i], top[j]) })
+	return top, nil
+}
+
+// TestTopInfluencedGoldenCrossCheck pins the PR 9 scan rewrite (sorted-slice
+// seed membership, stack scratch, in-place heapsort) byte-identical to the
+// pre-PR-9 implementation across adversarial score surfaces: pseudo-random
+// with heavy ties, all-NaN (diverged model), mixed NaN, and constant scores,
+// over single-seed, small multi-seed and beyond-smallSeedMax seed sets.
+func TestTopInfluencedGoldenCrossCheck(t *testing.T) {
+	scorers := map[string]pairFunc{
+		"ties": func(u, v int32) float64 {
+			h := uint32(u)*2654435761 + uint32(v)*40503
+			return float64(int32(h%16)) - 8
+		},
+		"nan": func(u, v int32) float64 { return math.NaN() },
+		"mixed": func(u, v int32) float64 {
+			return map[bool]float64{true: math.NaN(), false: float64(v % 7)}[(u+v)%3 == 0]
+		},
+		"const": func(u, v int32) float64 { return 1 },
+	}
+	const n = 300
+	seedSets := [][]int32{
+		{0},
+		{7},
+		{299},
+		{3, 50, 101},
+		{0, 1, 2, 3, 4, 5, 6, 7},            // exactly smallSeedMax
+		{0, 10, 20, 30, 40, 50, 60, 70, 80}, // just past smallSeedMax
+		{5, 5, 17},                          // duplicate seed
+		{0, 13, 26, 39, 52, 65, 78, 91, 104, 117, 130, 143, 156}, // large map path
+	}
+	for name, ps := range scorers {
+		s, err := NewScorer(ps, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seeds := range seedSets {
+			for _, topK := range []int{1, 3, 10, 64, n, n + 5} {
+				want, err := refTopInfluenced(s, seeds, Ave, topK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.TopInfluenced(context.Background(), seeds, Ave, topK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s seeds=%v topK=%d: %d results, want %d", name, seeds, topK, len(got), len(want))
+				}
+				for i := range want {
+					gb, wb := math.Float64bits(got[i].Score), math.Float64bits(want[i].Score)
+					if got[i].User != want[i].User || gb != wb {
+						t.Fatalf("%s seeds=%v topK=%d: result %d = %+v, want %+v", name, seeds, topK, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// storeScorer builds a Scorer over a randomly initialized embedding store, so
+// the allocation test measures the real serving configuration (store-backed
+// dot products), not a test stub.
+func storeScorer(t *testing.T, n int32, dim int, seed uint64) (*Scorer, *embed.Store) {
+	t.Helper()
+	st, err := embed.New(n, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Init(rng.New(seed))
+	s, err := NewScorer(st, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+// TestTopInfluencedZeroAlloc verifies the PR 9 satellite: the single-seed
+// scan with a recycled result buffer performs zero heap allocations — no
+// isSeed map, no xs slice, no sort.Slice closure, no result growth.
+func TestTopInfluencedZeroAlloc(t *testing.T) {
+	s, _ := storeScorer(t, 4096, 8, 11)
+	ctx := context.Background()
+	buf := make([]Ranked, 0, 10)
+	allocs := testing.AllocsPerRun(20, func() {
+		out, err := s.TopInfluencedInto(ctx, []int32{17}, Max, 10, buf)
+		if err != nil || len(out) != 10 {
+			t.Fatalf("scan failed: %d results, err %v", len(out), err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("single-seed scan allocated %.1f times per request, want 0", allocs)
+	}
+	// The multi-seed small path (≤ smallSeedMax) must stay allocation-free
+	// too: membership and scratch live in the stack arrays.
+	seeds := []int32{3, 99, 2000}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := s.TopInfluencedInto(ctx, seeds, Ave, 10, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("three-seed scan allocated %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestTopAmongMatchesRestrictedScan pins the ANN rescore seam: TopAmong over
+// a candidate subset equals the full scan's ranking filtered to that subset,
+// and TopAmong over all candidates equals TopInfluenced exactly.
+func TestTopAmongMatchesRestrictedScan(t *testing.T) {
+	s, _ := storeScorer(t, 500, 6, 7)
+	ctx := context.Background()
+	seeds := []int32{42}
+	full, err := s.TopInfluenced(ctx, seeds, Max, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All candidates (including the seed, which must be skipped).
+	all := make([]int32, 500)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	got, err := s.TopAmong(ctx, seeds, Max, 500, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("TopAmong(all) returned %d results, want %d", len(got), len(full))
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("TopAmong(all) result %d = %+v, want %+v", i, got[i], full[i])
+		}
+	}
+	// A strict subset: the result must equal the full ranking filtered to the
+	// subset, truncated to topK.
+	subset := []int32{4, 9, 44, 100, 250, 251, 252, 499}
+	inSubset := map[int32]bool{}
+	for _, v := range subset {
+		inSubset[v] = true
+	}
+	var want []Ranked
+	for _, r := range full {
+		if inSubset[r.User] {
+			want = append(want, r)
+		}
+	}
+	if len(want) > 5 {
+		want = want[:5]
+	}
+	got, err = s.TopAmong(ctx, seeds, Max, 5, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("TopAmong(subset) returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopAmong(subset) result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Out-of-range candidates are rejected, not skipped or panicked on.
+	if _, err := s.TopAmong(ctx, seeds, Max, 5, []int32{1, 500}); !errors.Is(err, ErrUserRange) {
+		t.Fatalf("out-of-range candidate: err = %v, want ErrUserRange", err)
+	}
+	if _, err := s.TopAmong(ctx, nil, Max, 5, subset); !errors.Is(err, ErrNoScores) {
+		t.Fatalf("empty seeds: err = %v, want ErrNoScores", err)
+	}
+}
+
+// TestMergeRanked pins the scatter-gather merge: per-shard rankings over a
+// partition of the candidates merge into exactly the single-scan ranking,
+// NaN entries and ties included.
+func TestMergeRanked(t *testing.T) {
+	scorer := pairFunc(func(u, v int32) float64 {
+		if v%5 == 0 {
+			return math.NaN()
+		}
+		h := uint32(u)*2654435761 + uint32(v)*40503
+		return float64(int32(h % 8))
+	})
+	const n = 120
+	s, err := NewScorer(scorer, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seeds := []int32{7}
+	for _, topK := range []int{1, 10, n} {
+		want, err := s.TopInfluenced(ctx, seeds, Max, topK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partition [0,n) into three uneven shards and rank each separately.
+		var lists [][]Ranked
+		for _, span := range [][2]int32{{0, 17}, {17, 80}, {80, n}} {
+			var cands []int32
+			for v := span[0]; v < span[1]; v++ {
+				cands = append(cands, v)
+			}
+			l, err := s.TopAmong(ctx, seeds, Max, topK, cands)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lists = append(lists, l)
+		}
+		got := MergeRanked(topK, lists...)
+		if len(got) != len(want) {
+			t.Fatalf("topK=%d: merged %d results, want %d", topK, len(got), len(want))
+		}
+		for i := range want {
+			gb, wb := math.Float64bits(got[i].Score), math.Float64bits(want[i].Score)
+			if got[i].User != want[i].User || gb != wb {
+				t.Fatalf("topK=%d: merged result %d = %+v, want %+v", topK, i, got[i], want[i])
+			}
+		}
+	}
+	if got := MergeRanked(0, []Ranked{{1, 1}}); got != nil {
+		t.Fatalf("MergeRanked(0) = %v, want nil", got)
+	}
 }

@@ -181,10 +181,31 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeTimeout(w)
 		return
 	}
+	// One model load per request: the index and the scorer it rescoress with
+	// must come from the same swap, even if a reload lands mid-request.
+	m := s.model.Load()
 	spanCtx, sp := obs.StartSpan(ctx, "topk_scan")
 	sp.SetAttr("k", k)
-	results, err := s.model.Load().scorer.TopInfluenced(spanCtx, []int32{u}, agg, k)
-	if err != nil {
+	var results []eval.Ranked
+	var err error
+	if m.index != nil {
+		sp.SetAttr("mode", TopKIndexIVF)
+		results, err = s.topkIVF(spanCtx, m, u, agg, k)
+	} else {
+		sp.SetAttr("mode", TopKIndexExact)
+		results, err = m.scorer.TopInfluenced(spanCtx, []int32{u}, agg, k)
+	}
+	// Span status partitions failures the way the alerts do: a caller asking
+	// about an unknown user or an empty seed set is that caller's problem
+	// (4xx, no status), a deadline is "deadline", anything else is "error".
+	// Marking client mistakes as span errors would let one misbehaving
+	// client page the on-call for a healthy server.
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		sp.SetStatus("deadline")
+	case errors.Is(err, eval.ErrUserRange) || errors.Is(err, eval.ErrNoScores):
+	default:
 		sp.SetStatus("error")
 	}
 	sp.End()

@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"inf2vec/internal/ann"
 	"inf2vec/internal/embed"
 	"inf2vec/internal/eval"
 )
@@ -22,13 +23,39 @@ type model struct {
 	size     int64
 	crc      uint32 // IEEE CRC-32 of the whole file, for /debug/statz
 	loadedAt time.Time
+
+	// index is the ANN top-k index over this store, built at load when the
+	// server runs in ivf mode; nil in exact mode. It lives and dies with its
+	// model: a hot reload swaps store, scorer and index as one unit, so a
+	// request can never rescore one model's candidates against another's
+	// scores.
+	index      *ann.Index
+	indexBuild time.Duration
 }
 
-// loadModel reads and validates the store file fully off the request path.
-// The file is slurped first so validation sees one consistent byte snapshot
-// even if the file is replaced mid-read, and embed.Load verifies magic,
-// version, exact framing and the format's CRC-32 trailer before any swap.
-func loadModel(path string) (*model, error) {
+// loadModel reads and validates the store file and, in ivf mode, builds the
+// model's ANN index — all fully off the request path, for both the initial
+// load and SIGHUP reloads. An index build failure fails the whole load: in
+// ivf mode a model without its index is not servable, and on reload the
+// previous model (with its index) keeps serving.
+func (s *Server) loadModel(path string) (*model, error) {
+	m, err := readModel(path)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.TopKIndex == TopKIndexIVF {
+		if err := s.buildIndex(m); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return m, nil
+}
+
+// readModel reads and validates the store file. The file is slurped first so
+// validation sees one consistent byte snapshot even if the file is replaced
+// mid-read, and embed.Load verifies magic, version, exact framing and the
+// format's CRC-32 trailer before any swap.
+func readModel(path string) (*model, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -96,6 +96,19 @@ type Config struct {
 	// SeedsOffset shifts the logistic link mapping model scores onto IC edge
 	// probabilities; more negative is more conservative (default -2).
 	SeedsOffset float64
+
+	// TopKIndex selects how /v1/topk ranks the universe: "exact" (default)
+	// scans every user; "ivf" serves from a sharded cluster-pruned ANN index
+	// with exact rescore, built at model load and rebuilt on hot reload.
+	TopKIndex string
+	// TopKNProbe overrides the clusters probed per index shard in ivf mode;
+	// 0 selects the index default. Higher probes more candidates: better
+	// recall, more work.
+	TopKNProbe int
+	// TopKShadowEvery shadow-compares one in every N ivf answers against the
+	// exact scan (off the request path) to feed the recall gauge. 0 selects
+	// the default (256); negative disables shadowing.
+	TopKShadowEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +139,12 @@ func (c Config) withDefaults() Config {
 	if c.SeedsOffset == 0 {
 		c.SeedsOffset = -2
 	}
+	if c.TopKIndex == "" {
+		c.TopKIndex = TopKIndexExact
+	}
+	if c.TopKShadowEvery == 0 {
+		c.TopKShadowEvery = 256
+	}
 	return c
 }
 
@@ -143,6 +162,11 @@ type Server struct {
 	draining atomic.Bool // set at drain start; flips /readyz to 503
 	inflight chan struct{}
 	lnAddr   atomic.Value // string; the bound listen address once serving
+
+	// shadowTick counts ivf answers for shadow sampling; shadowWG tracks the
+	// background exact scans so tests (and a drain) can wait them out.
+	shadowTick atomic.Uint64
+	shadowWG   sync.WaitGroup
 
 	// seeds is the influence-maximization subsystem; nil without a graph.
 	seeds *seedsService
@@ -162,6 +186,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("serve: ModelPath is required")
 	}
+	if err := validTopKIndex(cfg.TopKIndex); err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		log:      cfg.Logger,
@@ -170,7 +197,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.met = newServerMetrics(s.start)
 	s.tracer = obs.NewTracer(cfg.Trace)
-	m, err := loadModel(cfg.ModelPath)
+	m, err := s.loadModel(cfg.ModelPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: initial model: %w", err)
 	}
@@ -180,7 +207,13 @@ func New(cfg Config) (*Server, error) {
 	s.log.Info("model loaded",
 		"version", obs.Version(),
 		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
-		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
+		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc),
+		"topk_index", cfg.TopKIndex)
+	if m.index != nil {
+		s.log.Info("topk index built",
+			"shards", m.index.Shards(), "clusters", m.index.Clusters(),
+			"build_ms", float64(m.indexBuild.Microseconds())/1000)
+	}
 	if cfg.GraphPath != "" {
 		svc, err := newSeedsService(cfg.GraphPath, cfg.SeedsMaxInFlight, cfg.SeedsCacheSize, cfg.SeedsOffset)
 		if err != nil {
@@ -214,7 +247,7 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 func (s *Server) Reload() error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	m, err := loadModel(s.cfg.ModelPath)
+	m, err := s.loadModel(s.cfg.ModelPath)
 	if err != nil {
 		s.met.reloads.With("error").Inc()
 		s.met.reloadFailures.Inc()

@@ -47,6 +47,13 @@ type serverMetrics struct {
 	seedsCacheHits   *obs.Counter    // inf2vec_seeds_cache_hits_total
 	seedsCacheMisses *obs.Counter    // inf2vec_seeds_cache_misses_total
 	seedsCollapsed   *obs.Counter    // inf2vec_seeds_singleflight_collapsed_total
+
+	// Top-k ANN index (ivf mode). Shard-scan cardinality is bounded by the
+	// index's shard cap, which is itself a small constant.
+	topkIndexBuild *obs.Gauge      // inf2vec_topk_index_build_seconds
+	topkRecall     *obs.Gauge      // inf2vec_topk_recall_at_k
+	topkShadow     *obs.Counter    // inf2vec_topk_shadow_comparisons_total
+	topkShardScans *obs.CounterVec // inf2vec_topk_shard_scans_total{shard}
 }
 
 // newServerMetrics builds the registry and registers every family, plus the
@@ -91,6 +98,14 @@ func newServerMetrics(start time.Time) *serverMetrics {
 		"Seed-selection requests collapsed onto an identical in-flight computation.").With()
 	m.seedsInFlight = reg.Gauge("inf2vec_seeds_inflight",
 		"Seed-selection computations currently running.").With()
+	m.topkIndexBuild = reg.Gauge("inf2vec_topk_index_build_seconds",
+		"Wall time the last top-k ANN index build took; 0 in exact mode.").With()
+	m.topkRecall = reg.Gauge("inf2vec_topk_recall_at_k",
+		"Recall@k of the most recent sampled ANN answer against the exact scan; 1 is perfect.").With()
+	m.topkShadow = reg.Counter("inf2vec_topk_shadow_comparisons_total",
+		"Sampled ANN-vs-exact shadow comparisons completed.").With()
+	m.topkShardScans = reg.Counter("inf2vec_topk_shard_scans_total",
+		"Candidate rows exact-rescored per index shard.", "shard")
 	m.inFlight = reg.Gauge("inf2vec_http_inflight_requests",
 		"API requests currently admitted past the concurrency limiter.").With()
 	m.reloadLastSuccess = reg.Gauge("inf2vec_model_reload_last_success_timestamp_seconds",
@@ -146,6 +161,9 @@ type Snapshot struct {
 	// Seeds is the seed-selection subsystem's snapshot; nil when the server
 	// was started without a graph.
 	Seeds *SeedsSnapshot `json:"seeds,omitempty"`
+	// TopK describes the /v1/topk serving mode and, in ivf mode, the current
+	// model's index and the shadow-comparison recall signal.
+	TopK TopKSnapshot `json:"topk"`
 
 	// Runtime is the process-health snapshot (goroutines, heap, GC pauses),
 	// read through the same cached sampler as the /metrics runtime gauges.
@@ -179,6 +197,19 @@ type SeedsSnapshot struct {
 	GraphEdges  int64 `json:"graph_edges"`
 }
 
+// TopKSnapshot is the /v1/topk portion of /debug/statz. In exact mode only
+// Mode is meaningful; in ivf mode the index fields describe the serving
+// model's index and RecallAtK carries the latest sampled shadow comparison
+// (0 until the first one completes).
+type TopKSnapshot struct {
+	Mode              string  `json:"mode"`
+	Shards            int     `json:"shards,omitempty"`
+	Clusters          int     `json:"clusters,omitempty"`
+	IndexBuildSeconds float64 `json:"index_build_seconds,omitempty"`
+	ShadowComparisons int64   `json:"shadow_comparisons,omitempty"`
+	RecallAtK         float64 `json:"recall_at_k,omitempty"`
+}
+
 // ModelInfo describes the currently-serving model.
 type ModelInfo struct {
 	Path     string `json:"path"`
@@ -208,6 +239,14 @@ func (s *Server) snapshot() Snapshot {
 			GraphEdges:  s.seeds.g.NumEdges(),
 		}
 	}
+	topk := TopKSnapshot{Mode: s.cfg.TopKIndex}
+	if m.index != nil {
+		topk.Shards = m.index.Shards()
+		topk.Clusters = m.index.Clusters()
+		topk.IndexBuildSeconds = m.indexBuild.Seconds()
+		topk.ShadowComparisons = int64(s.met.topkShadow.Value())
+		topk.RecallAtK = s.met.topkRecall.Value()
+	}
 	exemplars := make(map[string][]obs.Exemplar)
 	s.met.latency.EachSeries(func(labelValues []string, h *obs.Histogram) {
 		if ex := h.Exemplars(); len(ex) > 0 && len(labelValues) > 0 {
@@ -216,6 +255,7 @@ func (s *Server) snapshot() Snapshot {
 	})
 	return Snapshot{
 		Seeds:          seeds,
+		TopK:           topk,
 		Runtime:        obs.RuntimeSnapshot(),
 		Tracing:        TracingSnapshot{TracerStats: s.tracer.Stats(), LatencyExemplars: exemplars},
 		InFlight:       int64(s.met.inFlight.Value()),

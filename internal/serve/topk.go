@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"inf2vec/internal/ann"
+	"inf2vec/internal/eval"
+	"inf2vec/internal/obs"
+)
+
+// Top-k serving modes. Exact mode is the default: a full-universe scan whose
+// results are the reference ranking. IVF mode serves the same ranking from a
+// sharded cluster-pruned index with exact rescore — approximate only in which
+// candidates get scored, never in how they are scored or ordered.
+const (
+	TopKIndexExact = "exact"
+	TopKIndexIVF   = "ivf"
+)
+
+// validTopKIndex rejects unknown -topk-index values at construction time, so
+// a typo fails the process start instead of silently serving exact.
+func validTopKIndex(mode string) error {
+	switch mode {
+	case TopKIndexExact, TopKIndexIVF:
+		return nil
+	}
+	return fmt.Errorf("serve: unknown top-k index mode %q (want %q or %q)", mode, TopKIndexExact, TopKIndexIVF)
+}
+
+// buildIndex constructs the ANN index for a freshly loaded model, seeded from
+// the model's CRC so every process serving the same model bytes builds the
+// same clusters. It runs under an ann_build root span and records the build
+// duration gauge. Called from loadModel, off the request path, for both the
+// initial load and SIGHUP reloads.
+func (s *Server) buildIndex(m *model) error {
+	_, sp := s.tracer.StartRoot(context.Background(), "ann_build")
+	start := time.Now()
+	ix, err := ann.Build(m.store, ann.Config{
+		NProbe: s.cfg.TopKNProbe,
+		Seed:   uint64(m.crc),
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		sp.EndWith("error", obs.KV{Key: "err", Value: err.Error()})
+		return fmt.Errorf("building topk index: %w", err)
+	}
+	sp.SetAttr("users", int(ix.NumUsers()))
+	sp.SetAttr("shards", ix.Shards())
+	sp.SetAttr("clusters", ix.Clusters())
+	sp.SetAttr("build_ms", float64(elapsed.Microseconds())/1000)
+	sp.EndWith("")
+	m.index = ix
+	m.indexBuild = elapsed
+	s.met.topkIndexBuild.Set(elapsed.Seconds())
+	return nil
+}
+
+// topkIVF answers one /v1/topk request through the ANN index: augmented
+// query from S_u, scatter-gather over the index shards, exact rescore of the
+// surviving candidates via the same scorer exact mode uses. A sampled
+// fraction of requests is shadow-compared against the exact scan to keep the
+// recall gauge honest.
+func (s *Server) topkIVF(ctx context.Context, m *model, u int32, agg eval.Aggregator, k int) ([]eval.Ranked, error) {
+	// The query reads S_u straight from the store, before any scoring call
+	// would range-check it; reject untrusted IDs with the scorer's error so
+	// both modes map bad input to the same 404.
+	if err := m.scorer.CheckUsers(u); err != nil {
+		return nil, err
+	}
+	sp := obs.ChildSpan(ctx, "ann_scatter_gather")
+	results, stats, err := m.index.Search(ctx, ann.Query(m.store.SourceVec(u), nil), s.cfg.TopKNProbe, k,
+		func(ctx context.Context, cands []int32) ([]eval.Ranked, error) {
+			return m.scorer.TopAmong(ctx, []int32{u}, agg, k, cands)
+		})
+	sp.SetAttr("clusters_probed", stats.ClustersProbed)
+	sp.SetAttr("candidates", stats.Candidates)
+	sp.End()
+	for si, c := range stats.ShardCandidates {
+		if c > 0 {
+			s.met.topkShardScans.With(strconv.Itoa(si)).Add(uint64(c))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.maybeShadowTopK(m, u, agg, k, results)
+	return results, nil
+}
+
+// maybeShadowTopK runs the exact scan for one in every TopKShadowEvery ANN
+// answers — off the request path, under the server's max timeout — and
+// publishes recall@k of the ANN answer against it. The recall gauge is the
+// production alarm for a model whose geometry has drifted away from what the
+// index's nprobe can cover.
+func (s *Server) maybeShadowTopK(m *model, u int32, agg eval.Aggregator, k int, approx []eval.Ranked) {
+	every := s.cfg.TopKShadowEvery
+	if every <= 0 {
+		return
+	}
+	if s.shadowTick.Add(1)%uint64(every) != 0 {
+		return
+	}
+	s.shadowWG.Add(1)
+	go func() {
+		defer s.shadowWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+		defer cancel()
+		exact, err := m.scorer.TopInfluenced(ctx, []int32{u}, agg, k)
+		if err != nil {
+			return
+		}
+		s.met.topkRecall.Set(topkRecall(exact, approx))
+		s.met.topkShadow.Inc()
+	}()
+}
+
+// topkRecall returns |approx ∩ exact| / |exact|, the recall@k of the ANN
+// answer, or 1 for an empty exact set (nothing to miss).
+func topkRecall(exact, approx []eval.Ranked) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	in := make(map[int32]struct{}, len(approx))
+	for _, r := range approx {
+		in[r.User] = struct{}{}
+	}
+	hit := 0
+	for _, r := range exact {
+		if _, ok := in[r.User]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(exact))
+}

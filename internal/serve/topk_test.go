@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inf2vec/internal/embed"
+	"inf2vec/internal/rng"
+)
+
+// randomModel writes an Init-randomized n-user store and returns its path.
+func randomModel(t *testing.T, dir string, n int32, seed uint64) string {
+	t.Helper()
+	st, err := embed.New(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Init(rng.New(seed))
+	path := filepath.Join(dir, "model.i2v")
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newIVFServer(t *testing.T, path string, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{ModelPath: path, Logger: quietLogger(), TopKIndex: TopKIndexIVF}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsUnknownTopKIndex(t *testing.T) {
+	path := writeModel(t, t.TempDir(), testStore(t, 8))
+	_, err := New(Config{ModelPath: path, Logger: quietLogger(), TopKIndex: "annoy"})
+	if err == nil || !strings.Contains(err.Error(), "annoy") {
+		t.Fatalf("New with bogus TopKIndex: err = %v, want a naming rejection", err)
+	}
+}
+
+// TestTopKIVFMatchesExact runs the same queries against an exact-mode and an
+// ivf-mode server over the same model file. With nprobe covering every
+// cluster the candidate sets coincide, so the two JSON responses — scores,
+// order, ties — must be byte-comparable field for field.
+func TestTopKIVFMatchesExact(t *testing.T) {
+	dir := t.TempDir()
+	path := randomModel(t, dir, 4096, 5)
+	exact, err := New(Config{ModelPath: path, Logger: quietLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivf := newIVFServer(t, path, func(c *Config) {
+		c.TopKNProbe = 1 << 20 // probe everything: candidate set == universe
+		c.TopKShadowEvery = -1
+	})
+	tse := httptest.NewServer(exact.Handler())
+	defer tse.Close()
+	tsi := httptest.NewServer(ivf.Handler())
+	defer tsi.Close()
+
+	for _, q := range []string{
+		"/v1/topk?source=0&k=25",
+		"/v1/topk?source=17&k=5&agg=ave",
+		"/v1/topk?source=4095&k=100&agg=sum",
+	} {
+		var want, got topkResponse
+		if code := getJSON(t, tse.Client(), tse.URL+q, &want); code != 200 {
+			t.Fatalf("exact %s: status %d", q, code)
+		}
+		if code := getJSON(t, tsi.Client(), tsi.URL+q, &got); code != 200 {
+			t.Fatalf("ivf %s: status %d", q, code)
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("%s: ivf returned %d results, exact %d", q, len(got.Results), len(want.Results))
+		}
+		for i := range got.Results {
+			if got.Results[i].User != want.Results[i].User ||
+				math.Float64bits(got.Results[i].Score) != math.Float64bits(want.Results[i].Score) {
+				t.Fatalf("%s rank %d: ivf %+v, exact %+v", q, i, got.Results[i], want.Results[i])
+			}
+		}
+	}
+
+	// Both modes must agree on error mapping for an unknown user.
+	if code := getJSON(t, tsi.Client(), tsi.URL+"/v1/topk?source=99999", nil); code != 404 {
+		t.Fatalf("ivf unknown user: status %d, want 404", code)
+	}
+}
+
+// TestTopKShadowRecall drives an ivf server with shadowing on every request
+// and asserts the recall gauge and shadow counter reach /metrics and statz.
+func TestTopKShadowRecall(t *testing.T) {
+	path := randomModel(t, t.TempDir(), 4096, 9)
+	s := newIVFServer(t, path, func(c *Config) {
+		c.TopKNProbe = 1 << 20 // full coverage: shadow recall must be exactly 1
+		c.TopKShadowEvery = 1
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if code := getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=1&k=10", nil); code != 200 {
+			t.Fatalf("topk status %d", code)
+		}
+	}
+	s.shadowWG.Wait()
+
+	_, metrics := getText(t, ts.Client(), ts.URL+"/metrics")
+	if !strings.Contains(metrics, "inf2vec_topk_shadow_comparisons_total 3") {
+		t.Fatalf("metrics missing shadow comparison count:\n%s", grepMetrics(metrics, "topk"))
+	}
+	if !strings.Contains(metrics, "inf2vec_topk_recall_at_k 1") {
+		t.Fatalf("metrics missing perfect recall gauge:\n%s", grepMetrics(metrics, "topk"))
+	}
+	if !strings.Contains(metrics, "inf2vec_topk_index_build_seconds") {
+		t.Fatalf("metrics missing index build gauge:\n%s", grepMetrics(metrics, "topk"))
+	}
+	if !strings.Contains(metrics, `inf2vec_topk_shard_scans_total{shard="0"}`) {
+		t.Fatalf("metrics missing per-shard scan counters:\n%s", grepMetrics(metrics, "topk"))
+	}
+
+	var snap Snapshot
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap); code != 200 {
+		t.Fatalf("statz status %d", code)
+	}
+	if snap.TopK.Mode != TopKIndexIVF || snap.TopK.Shards < 1 || snap.TopK.Clusters < 1 {
+		t.Fatalf("statz topk = %+v, want populated ivf snapshot", snap.TopK)
+	}
+	if snap.TopK.ShadowComparisons != 3 || snap.TopK.RecallAtK != 1 {
+		t.Fatalf("statz topk shadow = %+v, want 3 comparisons at recall 1", snap.TopK)
+	}
+}
+
+func grepMetrics(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestTopKExactModeSnapshot: exact mode reports itself and keeps the index
+// families at zero.
+func TestTopKExactModeSnapshot(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var snap Snapshot
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/statz", &snap); code != 200 {
+		t.Fatalf("statz status %d", code)
+	}
+	if snap.TopK.Mode != TopKIndexExact || snap.TopK.Shards != 0 {
+		t.Fatalf("statz topk = %+v, want bare exact snapshot", snap.TopK)
+	}
+}
+
+// TestTopKSpanStatusClientError pins the span-status fix: a 404 for an
+// unknown user is the client's mistake and must NOT mark the topk_scan span
+// as an error, while the span itself is still recorded.
+func TestTopKSpanStatusClientError(t *testing.T) {
+	s := newTestServer(t, keepAllTraces)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=99", nil); code != 404 {
+		t.Fatalf("unknown user: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/v1/topk?source=1&k=3", nil); code != 200 {
+		t.Fatalf("good request: status %d", code)
+	}
+
+	found := 0
+	for _, tr := range debugTraces(t, ts, "") {
+		for _, sp := range tr.Spans {
+			if sp.Name != "topk_scan" {
+				continue
+			}
+			found++
+			if sp.Status != "" {
+				t.Fatalf("topk_scan span status %q, want none (client errors are not span errors)", sp.Status)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d topk_scan spans, want 2", found)
+	}
+}
+
+// TestReloadRebuildsIndex: a SIGHUP-style reload of a changed model file must
+// swap in a freshly built index seeded from the new model's CRC.
+func TestReloadRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	path := randomModel(t, dir, 4096, 1)
+	s := newIVFServer(t, path, func(c *Config) { c.TopKShadowEvery = -1 })
+
+	before := s.model.Load()
+	if before.index == nil {
+		t.Fatal("initial load built no index in ivf mode")
+	}
+
+	// Replace the model with a different universe; reload must rebuild.
+	st, err := embed.New(6000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Init(rng.New(2))
+	if err := st.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.model.Load()
+	if after == before {
+		t.Fatal("reload did not swap the model")
+	}
+	if after.index == nil {
+		t.Fatal("reload did not rebuild the index")
+	}
+	if after.index.NumUsers() != 6000 {
+		t.Fatalf("rebuilt index covers %d users, want 6000", after.index.NumUsers())
+	}
+
+	// A corrupt publish keeps both the old model and its index serving.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reload(); err == nil {
+		t.Fatal("reload of a corrupt file did not fail")
+	}
+	if got := s.model.Load(); got != after || got.index == nil {
+		t.Fatal("failed reload disturbed the serving model or its index")
+	}
+}

@@ -80,13 +80,25 @@ func SquaredDistance(a, b []float32) float32 {
 }
 
 // CosineSimilarity returns the cosine of the angle between a and b, or 0 if
-// either vector is zero.
+// either vector is zero. Norms and the norm product are computed in float64:
+// in float32, na*nb overflows to +Inf around norms of 1e19 and the similarity
+// silently collapses to 0, which large-norm vectors (e.g. diverging models
+// fed to ANN clustering) would otherwise hit.
 func CosineSimilarity(a, b []float32) float32 {
-	na, nb := Norm2(a), Norm2(b)
-	if na == 0 || nb == 0 {
+	if len(a) != len(b) {
+		panic("vecmath: CosineSimilarity length mismatch")
+	}
+	var sa, sb, dot float64
+	for i, v := range a {
+		x, y := float64(v), float64(b[i])
+		sa += x * x
+		sb += y * y
+		dot += x * y
+	}
+	if sa == 0 || sb == 0 {
 		return 0
 	}
-	return Dot(a, b) / (na * nb)
+	return float32(dot / (math.Sqrt(sa) * math.Sqrt(sb)))
 }
 
 // Sigmoid is the exact logistic function 1/(1+e^-x), computed in float64 and

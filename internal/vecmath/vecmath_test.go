@@ -87,6 +87,28 @@ func TestCosineSimilarity(t *testing.T) {
 	}
 }
 
+// TestCosineSimilarityLargeNorms pins the float64 overflow fix: with norms
+// around 2e19 the float32 product na*nb is +Inf, and the old float32 division
+// silently returned 0 for vectors that are far from orthogonal. The same
+// product is exactly representable in float64.
+func TestCosineSimilarityLargeNorms(t *testing.T) {
+	a := []float32{2e19, 0}
+	b := []float32{1e3, 2e19}
+	// float64 reference: dot = 2e22, norms = 2e19 and ~2e19.
+	want := 2e22 / (2e19 * math.Sqrt(1e6+4e38))
+	got := float64(CosineSimilarity(a, b))
+	if math.IsNaN(got) || math.IsInf(got, 0) || got == 0 {
+		t.Fatalf("large-norm cosine = %v, want finite nonzero ~%g", got, want)
+	}
+	if !almostEqual(got, want, 1e-6) {
+		t.Errorf("large-norm cosine = %g, want %g", got, want)
+	}
+	// Identical huge vectors must still be exactly parallel, not Inf/NaN.
+	if got := CosineSimilarity([]float32{3e19, 3e19}, []float32{3e19, 3e19}); !almostEqual(float64(got), 1, 1e-6) {
+		t.Errorf("parallel large-norm cosine = %v, want 1", got)
+	}
+}
+
 func TestSigmoidValues(t *testing.T) {
 	cases := []struct{ x, want float64 }{
 		{0, 0.5},
