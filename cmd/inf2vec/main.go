@@ -6,11 +6,14 @@
 //	inf2vec train -graph graph.tsv -log actions.tsv -model out.i2v [flags]
 //	inf2vec eval  -graph graph.tsv -log actions.tsv -model out.i2v [-task activation|diffusion]
 //	inf2vec score -model out.i2v -source 12 -top 10
+//	inf2vec convert -in out.i2v -out out.q.i2v -precision int8
 //
 // train fits the model on a random 80% episode split (10% tune / 10% test
 // are held out, matching the paper's protocol); eval replays the held-out
 // test split; score prints the users most likely to be influenced by a
-// source user.
+// source user; convert rewrites a model file at another precision (int8
+// produces a format-v3 artifact, ~4x smaller, servable at either
+// -model-precision).
 //
 // train supports fault-tolerant runs: -checkpoint periodically persists
 // training state atomically, -resume continues from it, and SIGINT/SIGTERM
@@ -37,6 +40,7 @@ import (
 	"syscall"
 
 	"inf2vec"
+	"inf2vec/internal/embed"
 	"inf2vec/internal/obs"
 )
 
@@ -53,6 +57,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "score":
 		err = cmdScore(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "version", "-version", "--version":
 		fmt.Printf("inf2vec %s (%s)\n", obs.Version(), obs.GoVersion())
 	default:
@@ -66,12 +72,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score|version> [flags]
+	fmt.Fprintln(os.Stderr, `usage: inf2vec <train|eval|score|convert|version> [flags]
   train -graph G -log A -model OUT [-dim 50 -len 50 -alpha 0.1 -lr 0.005 -iters 10 -neg 5 -workers 1 -corpus-workers 0 -seed 1]
         [-checkpoint CKPT [-checkpoint-every N] [-resume]]
         [-telemetry-out events.jsonl] [-trace-out traces.jsonl] [-log-format text|json] [-log-level info] [-debug-addr :0]
   eval  -graph G -log A -model M [-task activation|diffusion] [-agg ave|sum|max|latest] [-seed 1]
-  score -model M -source U [-top 10] [-agg max]`)
+  score -model M -source U [-top 10] [-agg max]
+  convert -in M -out OUT [-precision fp32|int8]`)
 }
 
 // loadData reads the graph and the full action log, sized to the graph.
@@ -302,6 +309,33 @@ func cmdEval(args []string) error {
 	}
 	fmt.Printf("%s prediction on %d test episodes (agg=%s):\n  %s\n",
 		*task, test.NumEpisodes(), agg, metrics)
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "model file to read (any supported version; required)")
+	out := fs.String("out", "", "output model file (required)")
+	precName := fs.String("precision", "int8", "output precision: fp32 (format v2) or int8 (format v3, ~4x smaller)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -in and -out are required")
+	}
+	prec, err := embed.ParsePrecision(*precName)
+	if err != nil {
+		return fmt.Errorf("convert: %w", err)
+	}
+	store, err := embed.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+	if err := store.SaveFilePrecision(*out, prec); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d users, dim %d, precision %s\n",
+		*out, store.NumUsers(), store.Dim(), prec)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"inf2vec"
 	"inf2vec/internal/actionlog"
 	"inf2vec/internal/datagen"
 	"inf2vec/internal/graph"
@@ -127,12 +128,77 @@ func TestCommandValidation(t *testing.T) {
 	if err := cmdTrain([]string{"-graph", "g", "-log", "a", "-resume"}); err == nil {
 		t.Error("-resume without -checkpoint accepted")
 	}
+	if err := cmdConvert([]string{"-in", "x"}); err == nil {
+		t.Error("convert without -out accepted")
+	}
+	if err := cmdConvert([]string{"-in", "x", "-out", "y", "-precision", "float16"}); err == nil {
+		t.Error("convert with unknown precision accepted")
+	}
 	if _, err := parseAgg("bogus"); err == nil {
 		t.Error("bogus aggregator accepted")
 	}
 	for _, name := range []string{"ave", "sum", "max", "latest"} {
 		if _, err := parseAgg(name); err != nil {
 			t.Errorf("aggregator %q rejected: %v", name, err)
+		}
+	}
+}
+
+// TestConvertRoundTrip trains a tiny model, converts it to an int8 v3
+// artifact and back to fp32, and checks both conversions produce loadable,
+// consistently-scoring models — and that the int8 file is actually smaller.
+func TestConvertRoundTrip(t *testing.T) {
+	graphPath, logPath := writeWorld(t)
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.i2v")
+	quantPath := filepath.Join(dir, "model.q.i2v")
+	backPath := filepath.Join(dir, "model.back.i2v")
+
+	if err := cmdTrain([]string{
+		"-graph", graphPath, "-log", logPath, "-model", modelPath,
+		"-dim", "16", "-len", "10", "-iters", "2", "-seed", "1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", modelPath, "-out", quantPath, "-precision", "int8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", quantPath, "-out", backPath, "-precision", "fp32"}); err != nil {
+		t.Fatal(err)
+	}
+
+	fpInfo, err := os.Stat(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qInfo, err := os.Stat(quantPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qInfo.Size() >= fpInfo.Size() {
+		t.Errorf("int8 artifact (%d B) not smaller than fp32 (%d B)", qInfo.Size(), fpInfo.Size())
+	}
+
+	// Both converted files must load through the normal model path and score
+	// close to the original (quantization error only).
+	orig, err := inf2vec.LoadModelFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{quantPath, backPath} {
+		m, err := inf2vec.LoadModelFile(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		if m.NumUsers() != orig.NumUsers() {
+			t.Fatalf("%s: %d users, want %d", path, m.NumUsers(), orig.NumUsers())
+		}
+		for u := int32(0); u < 8; u++ {
+			got := m.Score(u, u+1)
+			want := orig.Score(u, u+1)
+			if diff := got - want; diff > 1e-2 || diff < -1e-2 {
+				t.Errorf("%s: score(%d,%d) = %v, original %v", path, u, u+1, got, want)
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	serve -model model.i2v [-addr :8080] [-timeout 2s] [-max-timeout 30s]
+//	      [-model-precision fp32|int8]
 //	      [-max-inflight 256] [-drain-timeout 10s]
 //	      [-topk-index exact|ivf] [-topk-nprobe 0] [-topk-shadow-every 256]
 //	      [-graph graph.edges] [-seeds-max-inflight 2] [-seeds-cache 128]
@@ -25,6 +26,13 @@
 // -topk-nprobe widens the per-shard cluster sweep (recall vs. latency), and
 // one in every -topk-shadow-every answers is shadow-compared against the
 // exact scan to feed the inf2vec_topk_recall_at_k gauge.
+//
+// -model-precision selects the in-memory model representation: "fp32"
+// (default) serves full float32 rows; "int8" holds per-row quantized codes
+// with one float32 scale per row — roughly a quarter of the embedding
+// memory — and /debug/statz reports the resident model bytes and the
+// measured quantization error. Either precision loads both fp32 (v1/v2) and
+// int8-quantized (v3) model files.
 //
 // Seed selection is the server's most expensive workload, so it runs behind
 // its own small concurrency limit (-seeds-max-inflight) with singleflight
@@ -67,6 +75,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	model := fs.String("model", "", "trained model file (required); SIGHUP re-reads it")
+	modelPrecision := fs.String("model-precision", "fp32", "in-memory model representation: fp32 (exact) or int8 (per-row quantized, ~4x less embedding memory)")
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 2*time.Second, "default per-request deadline")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap for the per-request ?timeout_ms= override")
@@ -106,6 +115,7 @@ func run(args []string) error {
 	s, err := serve.New(serve.Config{
 		Addr:           *addr,
 		ModelPath:      *model,
+		ModelPrecision: *modelPrecision,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxInFlight:    *maxInFlight,

@@ -284,7 +284,7 @@ func finiteVec(v []float32) bool {
 // Euclidean distance, breaking ties toward the lower index (important for
 // determinism on degenerate, all-identical inputs).
 func nearestCentroid(p, centroids []float32, dim int) int {
-	best, bestD := 0, float32(math.Inf(1))
+	best, bestD := 0, math.Inf(1)
 	for ci := 0; ci*dim < len(centroids); ci++ {
 		d := vecmath.SquaredDistance(p, centroids[ci*dim:(ci+1)*dim])
 		if d < bestD {
@@ -315,11 +315,11 @@ func kmeans(vecs []float32, npts, dim, c, iters, sampleCap int, r *rng.RNG) []fl
 	// probability proportional to its squared distance from the chosen set.
 	centroids := make([]float32, 0, c*dim)
 	centroids = append(centroids, pt(sample[r.Intn(len(sample))])...)
-	d2 := make([]float32, len(sample))
+	d2 := make([]float64, len(sample))
 	var sum float64
 	for i, si := range sample {
 		d2[i] = vecmath.SquaredDistance(pt(si), centroids[:dim])
-		sum += float64(d2[i])
+		sum += d2[i]
 	}
 	for len(centroids) < c*dim {
 		pick := sample[0]
@@ -328,7 +328,7 @@ func kmeans(vecs []float32, npts, dim, c, iters, sampleCap int, r *rng.RNG) []fl
 			acc := 0.0
 			pick = sample[len(sample)-1]
 			for i, si := range sample {
-				acc += float64(d2[i])
+				acc += d2[i]
 				if acc >= target {
 					pick = si
 					break
@@ -342,7 +342,7 @@ func kmeans(vecs []float32, npts, dim, c, iters, sampleCap int, r *rng.RNG) []fl
 			if d := vecmath.SquaredDistance(pt(si), nc); d < d2[i] {
 				d2[i] = d
 			}
-			sum += float64(d2[i])
+			sum += d2[i]
 		}
 	}
 
@@ -370,7 +370,7 @@ func kmeans(vecs []float32, npts, dim, c, iters, sampleCap int, r *rng.RNG) []fl
 				// Re-seed an empty cluster to the sample point farthest from
 				// its current centroid — deterministic, and it splits the
 				// largest spread instead of wasting the centroid.
-				far, farD := sample[0], float32(-1)
+				far, farD := sample[0], -1.0
 				for i, si := range sample {
 					if d := vecmath.SquaredDistance(pt(si), centroids[assign[i]*dim:(assign[i]+1)*dim]); d > farD {
 						far, farD = si, d

@@ -1,0 +1,75 @@
+package ann
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"inf2vec/internal/embed"
+	"inf2vec/internal/eval"
+)
+
+// TestBuildFromQuantizedSource indexes an *embed.QuantizedStore directly —
+// the int8 serving mode hands the index its quantized model, which must
+// satisfy Source without materializing a float32 store — and checks the
+// index is identical to one built over the dequantized fp32 store (the
+// build reads rows through TargetVec, and both representations dequantize
+// to the same float32 values), then runs a full search through the
+// quantized scorer.
+func TestBuildFromQuantizedSource(t *testing.T) {
+	st := clusteredStore(t, 3000, 8, 12, 77)
+	q, _ := embed.Quantize(st)
+	deq := q.Dequantize()
+
+	cfg := Config{Shards: 3, Seed: 9}
+	qix, err := Build(q, cfg)
+	if err != nil {
+		t.Fatalf("building from quantized source: %v", err)
+	}
+	fix, err := Build(deq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, qix)
+	if len(qix.shards) != len(fix.shards) {
+		t.Fatalf("shard counts differ: %d vs %d", len(qix.shards), len(fix.shards))
+	}
+	for si := range qix.shards {
+		qs, fs := &qix.shards[si], &fix.shards[si]
+		if !reflect.DeepEqual(qs.members, fs.members) || !reflect.DeepEqual(qs.residual, fs.residual) {
+			t.Fatalf("shard %d partitions differ between quantized and dequantized sources", si)
+		}
+	}
+
+	// End to end: search the quantized index, rescoring through the
+	// quantized scorer, and require the exact top-k over the same store.
+	sc, err := eval.NewScorer(q, q.NumUsers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := int32(11)
+	ctx := context.Background()
+	const k = 10
+	got, stats, err := qix.Search(ctx, Query(q.SourceVec(u), nil), qix.Clusters(), k,
+		func(ctx context.Context, cands []int32) ([]eval.Ranked, error) {
+			return sc.TopAmong(ctx, []int32{u}, eval.Max, k, cands)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Candidates == 0 {
+		t.Fatal("search surfaced no candidates")
+	}
+	want, err := sc.TopInfluenced(ctx, []int32{u}, eval.Max, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("search returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: search %+v vs exact %+v", i, got[i], want[i])
+		}
+	}
+}

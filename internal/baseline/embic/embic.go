@@ -87,14 +87,14 @@ func (m *Model) Prob(u, v int32) float64 {
 		return 0
 	}
 	d := vecmath.SquaredDistance(m.Store.SourceVec(u), m.Store.TargetVec(v))
-	return vecmath.Sigmoid(m.Bias - float64(d))
+	return vecmath.Sigmoid(m.Bias - d)
 }
 
 // Score exposes the pre-sigmoid pair affinity b − ‖ω_u − z_v‖², usable as a
 // latent pair score (e.g. for the Figure 6 visualization).
 func (m *Model) Score(u, v int32) float64 {
 	d := vecmath.SquaredDistance(m.Store.SourceVec(u), m.Store.TargetVec(v))
-	return m.Bias - float64(d)
+	return m.Bias - d
 }
 
 // exposure is one (source, target) influence opportunity.
@@ -338,7 +338,7 @@ type mScratch struct {
 // log-likelihood term label·ln σ(s) + (1−label)·ln(1−σ(s)).
 func (sc *mScratch) prepare(m *Model, ex exposure, label, lr float64) {
 	d := vecmath.SquaredDistance(m.Store.SourceVec(ex.u), m.Store.TargetVec(ex.v))
-	s := m.Bias - float64(d)
+	s := m.Bias - d
 	p := vecmath.Sigmoid(s)
 	sc.exs = append(sc.exs, preparedExp{u: ex.u, v: ex.v, g: float32((label - p) * lr)})
 	sc.loss += label*vecmath.LogSigmoid(s) + (1-label)*vecmath.LogSigmoid(-s)

@@ -178,10 +178,13 @@ func TrainContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 			vecmath.Zero(sc.srcGrad)
 			apply := func(x int32, label float32) {
 				tx := sc.row(&sc.tgt, store.TargetVec, x)
-				z := vecmath.Dot(su, tx)
-				gc := (label - vecmath.FastSigmoid(z)) * lr
-				vecmath.Axpy(gc, tx, sc.srcGrad)
-				vecmath.Axpy(gc, su, tx)
+				// Same fused serial kernels as internal/core's applyExample:
+				// one-accumulator logit order and a fused pair of gradient
+				// writes (tx aliases the read operand legally), so the walk
+				// trajectory is unchanged bitwise.
+				z, sig := vecmath.DotSigmoid(su, tx)
+				gc := (label - sig) * lr
+				vecmath.AxpyTwo(gc, tx, sc.srcGrad, su, tx)
 				if label == 1 {
 					sc.loss += vecmath.LogSigmoid(float64(z))
 				} else {

@@ -76,6 +76,22 @@ var Suites = []Suite{
 			{Key: "recall_at_10_100k", HigherIsBetter: true},
 		},
 	},
+	{
+		// The vecmath kernel suite gates the paper's d=64 working point:
+		// the over-scalar speedups of the two hot kernels, the absolute
+		// serving-path scoring latencies at both precisions, and the int8
+		// memory reduction (a pure arithmetic ratio — it regressing means
+		// the quantized layout itself grew). The d=32/d=128 legs and the
+		// raw scalar-baseline timings stay informational.
+		File: "BENCH_vecmath.json",
+		Metrics: []Metric{
+			{Key: "dot_speedup_d64", HigherIsBetter: true},
+			{Key: "axpy_speedup_d64", HigherIsBetter: true},
+			{Key: "score_fp32_d64_ns", HigherIsBetter: false},
+			{Key: "score_int8_d64_ns", HigherIsBetter: false},
+			{Key: "memory_reduction_d64", HigherIsBetter: true},
+		},
+	},
 }
 
 // Regression is one metric that moved past tolerance in the losing

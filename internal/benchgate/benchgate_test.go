@@ -120,6 +120,8 @@ func TestCheckDirsEndToEnd(t *testing.T) {
 		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
 	writeReport(t, baseDir, "BENCH_ann.json",
 		`{"topk_ivf_p50_100k_s": 0.0003, "topk_ivf_p99_100k_s": 0.0005, "topk_speedup_100k": 6.7, "recall_at_10_100k": 0.98}`)
+	writeReport(t, baseDir, "BENCH_vecmath.json",
+		`{"dot_speedup_d64": 1.7, "axpy_speedup_d64": 1.7, "score_fp32_d64_ns": 35, "score_int8_d64_ns": 36, "memory_reduction_d64": 3.61}`)
 
 	// Fresh run: everything slightly better or equal — clean.
 	writeReport(t, freshDir, "BENCH_infmax.json",
@@ -128,6 +130,8 @@ func TestCheckDirsEndToEnd(t *testing.T) {
 		`{"actions_per_second": 3000, "retrain_lag_p50_s": 0.05, "retrain_lag_p99_s": 0.099}`)
 	writeReport(t, freshDir, "BENCH_ann.json",
 		`{"topk_ivf_p50_100k_s": 0.0003, "topk_ivf_p99_100k_s": 0.0005, "topk_speedup_100k": 6.9, "recall_at_10_100k": 0.98}`)
+	writeReport(t, freshDir, "BENCH_vecmath.json",
+		`{"dot_speedup_d64": 1.72, "axpy_speedup_d64": 1.7, "score_fp32_d64_ns": 34, "score_int8_d64_ns": 36, "memory_reduction_d64": 3.61}`)
 	regs, err := CheckDirs(baseDir, freshDir, 0.20)
 	if err != nil {
 		t.Fatal(err)

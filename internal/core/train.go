@@ -506,15 +506,19 @@ func sampleNegative(neg *rng.UnigramTable, r *rng.RNG, u, v int32) (int32, bool)
 // contribution.
 func applyExample(store *embed.Store, su []float32, bu *float32, u, x int32, label float32, gamma float32, srcGrad []float32, cfg Config) float64 {
 	tx := store.TargetVec(x)
-	z := vecmath.Dot(su, tx)
-	if !cfg.DisableBiases {
-		z += *bu + *store.BiasTarget(x)
+	// Fused serial kernels: DotBiasSigmoid/DotSigmoid compute the logit in
+	// the one-accumulator order the golden test pins, and AxpyTwo fuses the
+	// two gradient writes (srcGrad += g·T_x, then T_x += g·S_u — T_x legally
+	// aliases the kernel's read operand) into one bounds-check-free sweep.
+	var z, sig float32
+	if cfg.DisableBiases {
+		z, sig = vecmath.DotSigmoid(su, tx)
+	} else {
+		z, sig = vecmath.DotBiasSigmoid(su, tx, *bu+*store.BiasTarget(x))
 	}
-	sig := vecmath.FastSigmoid(z)
 	g := (label - sig) * gamma
 
-	vecmath.Axpy(g, tx, srcGrad) // ∂/∂S_u accumulates (label-σ)·T_x
-	vecmath.Axpy(g, su, tx)      // ∂/∂T_x = (label-σ)·S_u
+	vecmath.AxpyTwo(g, tx, srcGrad, su, tx) // ∂/∂S_u accumulates (label-σ)·T_x; ∂/∂T_x = (label-σ)·S_u
 	if !cfg.DisableBiases {
 		*bu += g
 		*store.BiasTarget(x) += g

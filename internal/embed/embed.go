@@ -220,6 +220,14 @@ const (
 // trailing garbage).
 var ErrBadFormat = errors.New("embed: not a valid embedding store file")
 
+// Bytes returns the resident size of the float32 parameters: both embedding
+// matrices plus both bias vectors. The int8 counterpart is
+// (*QuantizedStore).Bytes; together they let the serving layer report model
+// memory per precision from one method.
+func (s *Store) Bytes() int64 {
+	return 4 * (2*int64(s.n)*int64(s.k) + 2*int64(s.n))
+}
+
 // SaveSize returns the exact number of bytes Save will write, so containers
 // (checkpoints) can frame the store section without buffering it.
 func (s *Store) SaveSize() int64 {
@@ -274,78 +282,148 @@ func (s *Store) SaveFile(path string) error {
 
 // Load reads a store written by Save, consuming r exactly: any bytes after
 // the body are rejected as trailing garbage. Use LoadFrom when the store is
-// embedded inside a larger stream.
+// embedded inside a larger stream. Version-3 (int8 quantized) inputs are
+// dequantized into a full float32 store; use LoadQuantized to keep the
+// compact representation.
 func Load(r io.Reader) (*Store, error) {
 	s, err := LoadFrom(r)
 	if err != nil {
 		return nil, err
 	}
-	var trail [1]byte
-	if n, err := io.ReadFull(r, trail[:]); n != 0 || err != io.EOF {
-		return nil, fmt.Errorf("%w: trailing garbage after body", ErrBadFormat)
+	if err := consumeEOF(r); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
+// consumeEOF rejects any unread bytes left in r after a complete store body.
+func consumeEOF(r io.Reader) error {
+	var trail [1]byte
+	if n, err := io.ReadFull(r, trail[:]); n != 0 || err != io.EOF {
+		return fmt.Errorf("%w: trailing garbage after body", ErrBadFormat)
+	}
+	return nil
+}
+
 // LoadFrom reads exactly one store from r, leaving any following bytes
 // unread. Version-2 stores have their CRC trailer verified; legacy version-1
-// stores (no trailer) are accepted for backward compatibility. Allocation is
-// read-driven: a truncated or corrupt header can never demand more memory
-// than the stream actually delivers.
+// stores (no trailer) are accepted for backward compatibility; version-3
+// quantized stores are verified and dequantized. Allocation is read-driven: a
+// truncated or corrupt header can never demand more memory than the stream
+// actually delivers.
 func LoadFrom(r io.Reader) (*Store, error) {
-	base := r
+	s, q, err := loadAnyFrom(r)
+	if err != nil {
+		return nil, err
+	}
+	if q != nil {
+		return q.Dequantize(), nil
+	}
+	return s, nil
+}
+
+// loadAnyFrom parses one store of any supported version from r, returning it
+// as a float32 store (v1/v2) or a quantized store (v3).
+func loadAnyFrom(r io.Reader) (*Store, *QuantizedStore, error) {
+	cr := &countReader{r: r}
 	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	if _, err := io.ReadFull(cr, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
 	}
 	if [6]byte(hdr[:6]) != storeMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:6])
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:6])
 	}
 	version := hdr[6]
-	if (version != storeVersion && version != legacyVersion) || hdr[7] != 0 {
-		return nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, version)
+	if hdr[7] != 0 {
+		return nil, nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, version)
 	}
+	switch version {
+	case legacyVersion, storeVersion:
+		s, err := loadFP32Body(cr, hdr, version)
+		return s, nil, err
+	case quantVersion:
+		q, err := loadQuantBody(cr, hdr)
+		return nil, q, err
+	}
+	return nil, nil, fmt.Errorf("%w: unsupported format version %d", ErrBadFormat, version)
+}
+
+// loadFP32Body reads the v1/v2 body that follows hdr from cr.
+func loadFP32Body(cr *countReader, hdr [8]byte, version byte) (*Store, error) {
+	var r io.Reader = cr
 	var crc *crc32OfRead
 	if version == storeVersion {
 		crc = &crc32OfRead{sum: crc32.ChecksumIEEE(hdr[:])}
-		r = io.TeeReader(base, crc)
+		r = io.TeeReader(cr, crc)
 	}
-	var shape [2]int32
-	if err := binary.Read(r, binary.LittleEndian, shape[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
-	}
-	n, k := shape[0], int(shape[1])
-	if n <= 0 || k <= 0 {
-		return nil, fmt.Errorf("%w: bad shape %d x %d", ErrBadFormat, n, k)
-	}
-	if int64(n)*int64(k) > 1<<31 {
-		return nil, fmt.Errorf("%w: implausible shape %d x %d", ErrBadFormat, n, k)
+	n, k, err := readShape(r, cr)
+	if err != nil {
+		return nil, err
 	}
 	s := &Store{n: n, k: k}
-	var err error
-	if s.source, err = readFloatBlock(r, int64(n)*int64(k)); err != nil {
+	if s.source, err = readFloatBlock(r, int64(n)*int64(k), "source embeddings", cr); err != nil {
 		return nil, err
 	}
-	if s.target, err = readFloatBlock(r, int64(n)*int64(k)); err != nil {
+	if s.target, err = readFloatBlock(r, int64(n)*int64(k), "target embeddings", cr); err != nil {
 		return nil, err
 	}
-	if s.biasS, err = readFloatBlock(r, int64(n)); err != nil {
+	if s.biasS, err = readFloatBlock(r, int64(n), "source biases", cr); err != nil {
 		return nil, err
 	}
-	if s.biasT, err = readFloatBlock(r, int64(n)); err != nil {
+	if s.biasT, err = readFloatBlock(r, int64(n), "target biases", cr); err != nil {
 		return nil, err
 	}
 	if crc != nil {
-		// Read the trailer from the base reader so it stays out of the sum.
-		var trail [4]byte
-		if _, err := io.ReadFull(base, trail[:]); err != nil {
-			return nil, fmt.Errorf("%w: reading CRC trailer: %v", ErrBadFormat, err)
-		}
-		if got, want := crc.sum, binary.LittleEndian.Uint32(trail[:]); got != want {
-			return nil, fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrBadFormat, want, got)
+		// Read the trailer from cr directly so it stays out of the sum.
+		if err := checkCRCTrailer(cr, crc.sum); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// readShape reads and validates the (n, k) header that follows the magic.
+func readShape(r io.Reader, cr *countReader) (int32, int, error) {
+	var shape [2]int32
+	if err := binary.Read(r, binary.LittleEndian, shape[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: reading header at byte offset %d: %v", ErrBadFormat, cr.off, err)
+	}
+	n, k := shape[0], int(shape[1])
+	if n <= 0 || k <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad shape %d x %d", ErrBadFormat, n, k)
+	}
+	if int64(n)*int64(k) > 1<<31 {
+		return 0, 0, fmt.Errorf("%w: implausible shape %d x %d", ErrBadFormat, n, k)
+	}
+	return n, k, nil
+}
+
+// checkCRCTrailer reads the 4-byte CRC trailer from cr and compares it to the
+// computed body sum.
+func checkCRCTrailer(cr *countReader, sum uint32) error {
+	var trail [4]byte
+	if _, err := io.ReadFull(cr, trail[:]); err != nil {
+		return fmt.Errorf("%w: reading CRC trailer at byte offset %d: %v", ErrBadFormat, cr.off, err)
+	}
+	if want := binary.LittleEndian.Uint32(trail[:]); sum != want {
+		return fmt.Errorf("%w: CRC mismatch (file %08x, computed %08x)", ErrBadFormat, want, sum)
+	}
+	return nil
+}
+
+// countReader counts the bytes consumed from the underlying reader, so a
+// truncated-body error can report the exact file offset where the stream
+// ended — the difference between "section X is short" and one-step triage of
+// a torn publish from pipeline logs.
+type countReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.off += int64(n)
+	return n, err
 }
 
 // crc32OfRead accumulates the IEEE CRC-32 of every byte teed through it.
@@ -368,8 +446,9 @@ func LoadFile(path string) (*Store, error) {
 
 // readFloatBlock reads n little-endian float32s, growing the destination as
 // bytes arrive (bounded chunks) so a short body fails before any large
-// allocation.
-func readFloatBlock(r io.Reader, n int64) ([]float32, error) {
+// allocation. A truncation error names the section being read and the byte
+// offset (via cr) at which the stream ended.
+func readFloatBlock(r io.Reader, n int64, section string, cr *countReader) ([]float32, error) {
 	const chunk = 1 << 16 // floats per read: 256 KiB
 	first := n
 	if first > chunk {
@@ -383,10 +462,35 @@ func readFloatBlock(r io.Reader, n int64) ([]float32, error) {
 			want = chunk
 		}
 		if _, err := io.ReadFull(r, buf[:4*want]); err != nil {
-			return nil, fmt.Errorf("%w: reading body: %v", ErrBadFormat, err)
+			return nil, fmt.Errorf("%w: reading %s at byte offset %d: %v", ErrBadFormat, section, cr.off, err)
 		}
 		for i := int64(0); i < want; i++ {
 			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readInt8Block reads n int8 codes under the same bounded-allocation and
+// offset-reporting discipline as readFloatBlock.
+func readInt8Block(r io.Reader, n int64, section string, cr *countReader) ([]int8, error) {
+	const chunk = 1 << 18 // bytes per read: 256 KiB
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	out := make([]int8, 0, first)
+	buf := make([]byte, chunk)
+	for int64(len(out)) < n {
+		want := n - int64(len(out))
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, fmt.Errorf("%w: reading %s at byte offset %d: %v", ErrBadFormat, section, cr.off, err)
+		}
+		for _, b := range buf[:want] {
+			out = append(out, int8(b))
 		}
 	}
 	return out, nil

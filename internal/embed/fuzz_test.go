@@ -2,6 +2,8 @@ package embed
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"testing"
 
@@ -45,11 +47,32 @@ func FuzzLoad(f *testing.F) {
 		{},
 	}
 	futureVersion := append([]byte(nil), base...)
-	futureVersion[6] = 3
+	futureVersion[6] = 4
 	seeds = append(seeds, futureVersion)
 	hugeShape := append([]byte(nil), base[:8]...)
 	hugeShape = append(hugeShape, 0xFF, 0xFF, 0xFF, 0x7E, 0x01, 0x00, 0x00, 0x00) // n≈2^31, k=1
 	seeds = append(seeds, hugeShape)
+
+	// Version-3 (int8 quantized) seeds: a valid file, a semantically bad
+	// scale under a valid CRC, and a truncated code block.
+	validV3 := func(n int32, k int) []byte {
+		s, err := New(n, k)
+		if err != nil {
+			f.Fatal(err)
+		}
+		s.Init(rng.New(2))
+		var buf bytes.Buffer
+		if err := s.SavePrecision(&buf, PrecisionInt8); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	v3 := validV3(3, 2)
+	badScale := append([]byte(nil), v3...)
+	binary.LittleEndian.PutUint32(badScale[16:], math.Float32bits(-1)) // negative source scale
+	sum := crc32.ChecksumIEEE(badScale[:len(badScale)-4])
+	binary.LittleEndian.PutUint32(badScale[len(badScale)-4:], sum) // keep the CRC valid
+	seeds = append(seeds, v3, validV3(1, 1), badScale, v3[:len(v3)-9], v3[:20])
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -60,9 +83,12 @@ func FuzzLoad(f *testing.F) {
 		}
 		// Allocation must be justified by real bytes: the file fully
 		// materialized the store, so its size equals SaveSize plus nothing —
-		// or SaveSize minus the 4-byte CRC trailer for legacy v1 files.
-		if sz := s.SaveSize(); int64(len(data)) != sz && int64(len(data)) != sz-4 {
-			t.Fatalf("accepted %d bytes for a %d-byte store", len(data), sz)
+		// or SaveSize minus the 4-byte CRC trailer for legacy v1 files, or
+		// the (smaller) v3 size when the input was an int8 quantized store.
+		sz := s.SaveSize()
+		qsz := quantSaveSize(int64(s.NumUsers()), int64(s.Dim()))
+		if got := int64(len(data)); got != sz && got != sz-4 && got != qsz {
+			t.Fatalf("accepted %d bytes for a %d-byte (or %d-byte v3) store", len(data), sz, qsz)
 		}
 		if s.NumUsers() <= 0 || s.Dim() <= 0 {
 			t.Fatalf("degenerate shape %dx%d accepted", s.NumUsers(), s.Dim())

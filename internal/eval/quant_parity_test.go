@@ -1,0 +1,199 @@
+// Quantization parity suite: trains real (reduced) digg-like and flickr-like
+// models and pins what int8 serving guarantees relative to fp32 at the
+// paper's top-k cutoffs. Two regimes, matching the two ways a server can
+// arrive at int8:
+//
+//   - Same v3 artifact, either precision: EXACTLY the same ranked top-k,
+//     sets and order, because both precisions read the same codes.
+//   - fp32 (v1/v2) artifact quantized at load: every score stays within the
+//     analytic quantization bound, and the ranking can differ only where
+//     true score gaps are below that bound — no int8 representation can
+//     rank finer than its own resolution.
+package eval_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"inf2vec/internal/ann"
+	"inf2vec/internal/core"
+	"inf2vec/internal/datagen"
+	"inf2vec/internal/embed"
+	"inf2vec/internal/eval"
+)
+
+// The quantized store must plug into both scoring seams without adapters:
+// the online Scorer (PairScorer) and the ANN index builder (ann.Source).
+var (
+	_ eval.PairScorer = (*embed.QuantizedStore)(nil)
+	_ ann.Source      = (*embed.QuantizedStore)(nil)
+)
+
+// trainPreset trains a small Inf2vec model on a 1/8-scale preset. Workers=1
+// keeps the run deterministic, so any parity failure reproduces exactly.
+func trainPreset(t *testing.T, gen datagen.Config) *embed.Store {
+	t.Helper()
+	gen.NumUsers /= 8
+	gen.NumItems /= 8
+	ds, err := datagen.Generate(gen)
+	if err != nil {
+		t.Fatalf("generating %s: %v", gen.Name, err)
+	}
+	train, _, _, err := ds.Log.Split(11, 0.8, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Train(ds.Graph, train, core.Config{
+		Dim: 16, ContextLength: 12, Alpha: 0.3,
+		LearningRate: 0.05, DecayLearningRate: true,
+		NegativeSamples: 4, Iterations: 3, NegativePower: 0.75,
+		Workers: 1, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("training %s: %v", gen.Name, err)
+	}
+	return res.Model.Store
+}
+
+// maxAbsCoord returns the largest |coordinate| across both embedding
+// matrices, for the analytic score-error bound.
+func maxAbsCoord(s *embed.Store) float64 {
+	var m float64
+	for u := int32(0); u < s.NumUsers(); u++ {
+		for _, v := range s.SourceVec(u) {
+			m = math.Max(m, math.Abs(float64(v)))
+		}
+		for _, v := range s.TargetVec(u) {
+			m = math.Max(m, math.Abs(float64(v)))
+		}
+	}
+	return m
+}
+
+func TestInt8ParityOnPresets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains real models; skipped in -short")
+	}
+	presets := []datagen.Config{datagen.DiggLike(7), datagen.FlickrLike(7)}
+	for _, gen := range presets {
+		gen := gen
+		t.Run(gen.Name, func(t *testing.T) {
+			store := trainPreset(t, gen)
+			q, stats := embed.Quantize(store)
+			n := store.NumUsers()
+
+			// Epsilon leg: every sampled pair score moves by at most the
+			// analytic bound d·e·(2·maxCoord + e), where e is the largest
+			// per-coordinate dequantization error (biases pass through in
+			// float32, so they contribute nothing).
+			e := stats.MaxAbsErr
+			bound := float64(store.Dim())*e*(2*maxAbsCoord(store)+e) + 1e-9
+			for u := int32(0); u < n; u += 7 {
+				for v := int32(0); v < n; v += 13 {
+					fp, qs := store.Score(u, v), q.Score(u, v)
+					if d := math.Abs(fp - qs); d > bound {
+						t.Fatalf("score(%d,%d): |%v - %v| = %g exceeds bound %g", u, v, fp, qs, d, bound)
+					}
+				}
+			}
+
+			// Exact top-k leg: both precisions serving the same v3 artifact
+			// must return identical ranked answers — same users, same order —
+			// at the paper's cutoffs. The fp32 side of this pair is the
+			// dequantized store (what -model-precision=fp32 materializes from
+			// a v3 file); both sides read the same codes, so the only
+			// difference is float32-rounding noise around 2^-24, far below
+			// any trained model's rank gaps.
+			deq := q.Dequantize()
+			deqScorer, err := eval.NewScorer(deq, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qScorer, err := eval.NewScorer(q, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			for _, k := range []int{10, 50} {
+				for u := int32(0); u < n; u += n / 9 {
+					a, err := deqScorer.TopInfluenced(ctx, []int32{u}, eval.Max, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := qScorer.TopInfluenced(ctx, []int32{u}, eval.Max, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(a) != len(b) {
+						t.Fatalf("u=%d k=%d: lengths %d vs %d", u, k, len(a), len(b))
+					}
+					for i := range a {
+						if a[i].User != b[i].User {
+							t.Fatalf("u=%d k=%d rank %d: fp32(v3) user %d (%.9g) vs int8 user %d (%.9g)",
+								u, k, i, a[i].User, a[i].Score, b[i].User, b[i].Score)
+						}
+					}
+				}
+			}
+
+			// Quantize-at-load leg: against the ORIGINAL fp32 store the int8
+			// ranking can legitimately swap neighbors whose score gap is
+			// below the quantization error — no int8 representation can rank
+			// finer than its own resolution — so the sound guarantee is that
+			// every disagreement stays within that error, and the answer
+			// sets barely move.
+			fpScorer, err := eval.NewScorer(store, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{10, 50} {
+				for u := int32(0); u < n; u += n / 9 {
+					a, err := fpScorer.TopInfluenced(ctx, []int32{u}, eval.Max, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := qScorer.TopInfluenced(ctx, []int32{u}, eval.Max, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					inA := make(map[int32]float64, len(a))
+					for _, r := range a {
+						inA[r.User] = r.Score
+					}
+					hits := 0
+					for i, r := range b {
+						if fp, ok := inA[r.User]; ok {
+							hits++
+							if d := math.Abs(fp - r.Score); d > bound {
+								t.Fatalf("u=%d k=%d rank %d: int8 score %v drifted %g from fp32 %v (bound %g)",
+									u, k, i, r.Score, d, fp, bound)
+							}
+						}
+					}
+					if recall := float64(hits) / float64(len(a)); recall < 0.9 {
+						t.Fatalf("u=%d k=%d: recall %.2f < 0.9 against the fp32 ranking", u, k, recall)
+					}
+					for i := range a {
+						if a[i].User == b[i].User {
+							continue
+						}
+						// A positional swap is only legitimate between users
+						// whose true scores are within quantization range.
+						fb, ok := inA[b[i].User]
+						if !ok {
+							fb, err = fpScorer.Pair(u, b[i].User)
+							if err != nil {
+								t.Fatal(err)
+							}
+						}
+						if gap := math.Abs(a[i].Score - fb); gap > 2*bound {
+							t.Fatalf("u=%d k=%d rank %d: users %d/%d swapped across a %g score gap (bound %g)",
+								u, k, i, a[i].User, b[i].User, gap, 2*bound)
+						}
+					}
+				}
+			}
+		})
+	}
+}

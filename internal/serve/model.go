@@ -12,13 +12,40 @@ import (
 	"inf2vec/internal/eval"
 )
 
-// model is one immutable loaded embedding store plus its scoring facade and
+// modelData is the read surface both model precisions expose. *embed.Store
+// (fp32) and *embed.QuantizedStore (int8) each satisfy it, and it is a
+// superset of both eval.PairScorer (Score) and ann.Source (the target-side
+// accessors), so the scoring facade and the ANN index build against either
+// representation without knowing which precision is serving.
+type modelData interface {
+	NumUsers() int32
+	Dim() int
+	SourceVec(u int32) []float32
+	TargetVec(v int32) []float32
+	BiasTarget(v int32) *float32
+	Score(u, v int32) float64
+	// Bytes is the resident size of the parameter arrays, for /debug/statz.
+	Bytes() int64
+}
+
+var (
+	_ modelData = (*embed.Store)(nil)
+	_ modelData = (*embed.QuantizedStore)(nil)
+)
+
+// model is one immutable loaded embedding model plus its scoring facade and
 // provenance metadata. Handlers grab the current *model once per request
 // from the server's atomic pointer, so a concurrent reload can never tear a
 // response across two stores.
 type model struct {
-	store    *embed.Store
-	scorer   *eval.Scorer
+	data      modelData
+	scorer    *eval.Scorer
+	precision embed.Precision
+	// qstats is the quantization error of an int8 model, measured at load
+	// against the fp32 store it was quantized from. It is nil for fp32
+	// models and for int8 models loaded verbatim from a v3 file, where the
+	// fp32 original is not available to measure against.
+	qstats   *embed.QuantStats
 	path     string
 	size     int64
 	crc      uint32 // IEEE CRC-32 of the whole file, for /debug/statz
@@ -39,7 +66,7 @@ type model struct {
 // ivf mode a model without its index is not servable, and on reload the
 // previous model (with its index) keeps serving.
 func (s *Server) loadModel(path string) (*model, error) {
-	m, err := readModel(path)
+	m, err := readModel(path, s.precision)
 	if err != nil {
 		return nil, err
 	}
@@ -51,24 +78,40 @@ func (s *Server) loadModel(path string) (*model, error) {
 	return m, nil
 }
 
-// readModel reads and validates the store file. The file is slurped first so
-// validation sees one consistent byte snapshot even if the file is replaced
-// mid-read, and embed.Load verifies magic, version, exact framing and the
-// format's CRC-32 trailer before any swap.
-func readModel(path string) (*model, error) {
+// readModel reads and validates the store file at the requested precision.
+// The file is slurped first so validation sees one consistent byte snapshot
+// even if the file is replaced mid-read, and the loader verifies magic,
+// version, exact framing and the format's CRC-32 trailer before any swap.
+//
+// Precision and file format are independent: fp32 mode dequantizes a v3
+// (int8) file into full float32 rows, and int8 mode quantizes a v1/v2 (fp32)
+// file at load — recording the measured quantization error — while a v3 file
+// is served verbatim, codes and scales untouched.
+func readModel(path string, precision embed.Precision) (*model, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	store, err := embed.Load(bytes.NewReader(raw))
-	if err != nil {
-		return nil, fmt.Errorf("validating %s: %w", path, err)
+	var data modelData
+	var qstats *embed.QuantStats
+	if precision == embed.PrecisionInt8 {
+		q, stats, err := embed.LoadQuantized(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("validating %s: %w", path, err)
+		}
+		data, qstats = q, stats
+	} else {
+		store, err := embed.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("validating %s: %w", path, err)
+		}
+		data = store
 	}
-	scorer, err := eval.NewScorer(store, store.NumUsers())
+	scorer, err := eval.NewScorer(data, data.NumUsers())
 	if err != nil {
 		return nil, err
 	}
-	// A v2 store file ends with the CRC-32 of everything before it, and a
+	// A v2+ store file ends with the CRC-32 of everything before it, and a
 	// CRC-32 of a message with its own CRC appended is always the residue
 	// constant 0x2144df1c — a whole-file checksum would report the same
 	// value for every valid model. Checksum the pre-trailer bytes instead
@@ -79,11 +122,13 @@ func readModel(path string) (*model, error) {
 		body = raw[:len(raw)-4]
 	}
 	return &model{
-		store:    store,
-		scorer:   scorer,
-		path:     path,
-		size:     int64(len(raw)),
-		crc:      crc32.ChecksumIEEE(body),
-		loadedAt: time.Now(),
+		data:      data,
+		scorer:    scorer,
+		precision: precision,
+		qstats:    qstats,
+		path:      path,
+		size:      int64(len(raw)),
+		crc:       crc32.ChecksumIEEE(body),
+		loadedAt:  time.Now(),
 	}, nil
 }

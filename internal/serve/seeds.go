@@ -457,7 +457,7 @@ func (s *Server) finishSeeds(w http.ResponseWriter, resp *seedsResponse, status 
 // score as "no learned influence" — probability ~0 — instead of panicking
 // an array index deep inside the simulation.
 func (s *Server) seedsProber(m *model) ic.EdgeProber {
-	n := m.store.NumUsers()
+	n := m.data.NumUsers()
 	return &infmax.ModelProber{
 		G:      s.seeds.g,
 		Offset: s.seeds.offset,
@@ -465,7 +465,7 @@ func (s *Server) seedsProber(m *model) ic.EdgeProber {
 			if u >= n || v >= n {
 				return -50 // σ(-50+offset) ≈ 0: unknown users don't propagate
 			}
-			return m.store.Score(u, v)
+			return m.data.Score(u, v)
 		},
 	}
 }

@@ -51,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"inf2vec/internal/embed"
 	"inf2vec/internal/infmax"
 	"inf2vec/internal/obs"
 )
@@ -62,6 +63,13 @@ type Config struct {
 	Addr string
 	// ModelPath is the embedding store file to serve; SIGHUP re-reads it.
 	ModelPath string
+	// ModelPrecision selects the in-memory representation of the serving
+	// model: "fp32" (default) materializes full float32 rows; "int8" holds
+	// per-row symmetrically quantized codes plus one float32 scale per row —
+	// roughly a quarter of the embedding memory — and scores through the
+	// integer dot-product kernel. Independent of the file format: either
+	// precision loads both fp32 (v1/v2) and quantized (v3) files.
+	ModelPrecision string
 	// DefaultTimeout bounds each API request when the client does not ask
 	// for a deadline (default 2s).
 	DefaultTimeout time.Duration
@@ -115,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = ":8080"
 	}
+	if c.ModelPrecision == "" {
+		c.ModelPrecision = embed.PrecisionFP32.String()
+	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Second
 	}
@@ -156,6 +167,10 @@ type Server struct {
 	tracer *obs.Tracer
 	start  time.Time
 
+	// precision is cfg.ModelPrecision parsed once at construction; every
+	// model load (initial and SIGHUP) reads through it.
+	precision embed.Precision
+
 	model    atomic.Pointer[model] // current store; swapped whole on reload
 	reloadMu sync.Mutex            // serializes reloads, not reads
 
@@ -189,11 +204,16 @@ func New(cfg Config) (*Server, error) {
 	if err := validTopKIndex(cfg.TopKIndex); err != nil {
 		return nil, err
 	}
+	precision, err := embed.ParsePrecision(cfg.ModelPrecision)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
-		cfg:      cfg,
-		log:      cfg.Logger,
-		start:    time.Now(),
-		inflight: make(chan struct{}, cfg.MaxInFlight),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		start:     time.Now(),
+		precision: precision,
+		inflight:  make(chan struct{}, cfg.MaxInFlight),
 	}
 	s.met = newServerMetrics(s.start)
 	s.tracer = obs.NewTracer(cfg.Trace)
@@ -206,8 +226,9 @@ func New(cfg Config) (*Server, error) {
 	s.met.reloadLastSuccess.Set(float64(time.Now().Unix()))
 	s.log.Info("model loaded",
 		"version", obs.Version(),
-		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
+		"path", m.path, "users", m.data.NumUsers(), "dim", m.data.Dim(),
 		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc),
+		"precision", m.precision.String(), "resident_bytes", m.data.Bytes(),
 		"topk_index", cfg.TopKIndex)
 	if m.index != nil {
 		s.log.Info("topk index built",
@@ -220,9 +241,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: seeds graph: %w", err)
 		}
 		s.seeds = svc
-		if svc.g.NumNodes() > m.store.NumUsers() {
+		if svc.g.NumNodes() > m.data.NumUsers() {
 			s.log.Warn("graph universe exceeds model universe; unknown users score as non-influencers",
-				"graph_nodes", svc.g.NumNodes(), "model_users", m.store.NumUsers())
+				"graph_nodes", svc.g.NumNodes(), "model_users", m.data.NumUsers())
 		}
 		s.log.Info("seeds service enabled",
 			"graph", cfg.GraphPath, "nodes", svc.g.NumNodes(), "edges", svc.g.NumEdges(),
@@ -259,8 +280,9 @@ func (s *Server) Reload() error {
 	s.met.reloadLastSuccess.Set(float64(time.Now().Unix()))
 	s.met.setModelInfo(m)
 	s.log.Info("model reloaded",
-		"path", m.path, "users", m.store.NumUsers(), "dim", m.store.Dim(),
-		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc))
+		"path", m.path, "users", m.data.NumUsers(), "dim", m.data.Dim(),
+		"bytes", m.size, "crc32", fmt.Sprintf("%08x", m.crc),
+		"precision", m.precision.String(), "resident_bytes", m.data.Bytes())
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"inf2vec/internal/embed"
 	"inf2vec/internal/obs"
 )
 
@@ -212,12 +213,35 @@ type TopKSnapshot struct {
 
 // ModelInfo describes the currently-serving model.
 type ModelInfo struct {
-	Path     string `json:"path"`
-	Users    int32  `json:"users"`
-	Dim      int    `json:"dim"`
-	Bytes    int64  `json:"bytes"`
-	CRC32    string `json:"crc32"`
-	LoadedAt string `json:"loaded_at"`
+	Path  string `json:"path"`
+	Users int32  `json:"users"`
+	Dim   int    `json:"dim"`
+	// Bytes is the size of the model file on disk at load time.
+	Bytes int64 `json:"bytes"`
+	// Precision is the in-memory representation: "fp32" or "int8".
+	Precision string `json:"precision"`
+	// ResidentBytes is the in-memory size of the model's parameter arrays —
+	// embedding matrices and biases, plus the per-row scales in int8 mode.
+	ResidentBytes int64  `json:"resident_bytes"`
+	CRC32         string `json:"crc32"`
+	LoadedAt      string `json:"loaded_at"`
+	// Quant reports the quantization error an int8 model incurred against
+	// the fp32 store it was quantized from at load. Omitted for fp32 models
+	// and for int8 models served verbatim from a v3 file, where no fp32
+	// original exists to measure against.
+	Quant *QuantInfo `json:"quant,omitempty"`
+}
+
+// QuantInfo is the measured int8 quantization error of the serving model.
+type QuantInfo struct {
+	// MaxAbsErr is the largest |fp32 − dequantized| over every finite
+	// embedding coordinate.
+	MaxAbsErr float64 `json:"max_abs_err"`
+	// RMSErr is the root-mean-square of the same per-coordinate errors.
+	RMSErr float64 `json:"rms_err"`
+	// NonFiniteRows counts rows whose fp32 source contained NaN/Inf; they
+	// dequantize to all-NaN so a diverged model stays visibly diverged.
+	NonFiniteRows int `json:"nonfinite_rows"`
 }
 
 // snapshot assembles the current counters and model metadata from the
@@ -268,12 +292,28 @@ func (s *Server) snapshot() Snapshot {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		Draining:       s.draining.Load(),
 		Model: ModelInfo{
-			Path:     m.path,
-			Users:    m.store.NumUsers(),
-			Dim:      m.store.Dim(),
-			Bytes:    m.size,
-			CRC32:    fmt.Sprintf("%08x", m.crc),
-			LoadedAt: m.loadedAt.UTC().Format(time.RFC3339Nano),
+			Path:          m.path,
+			Users:         m.data.NumUsers(),
+			Dim:           m.data.Dim(),
+			Bytes:         m.size,
+			Precision:     m.precision.String(),
+			ResidentBytes: m.data.Bytes(),
+			CRC32:         fmt.Sprintf("%08x", m.crc),
+			LoadedAt:      m.loadedAt.UTC().Format(time.RFC3339Nano),
+			Quant:         quantInfo(m.qstats),
 		},
+	}
+}
+
+// quantInfo converts the load-time quantization stats to their statz shape;
+// nil in, nil out.
+func quantInfo(st *embed.QuantStats) *QuantInfo {
+	if st == nil {
+		return nil
+	}
+	return &QuantInfo{
+		MaxAbsErr:     st.MaxAbsErr,
+		RMSErr:        st.RMSErr,
+		NonFiniteRows: st.NonFiniteRows,
 	}
 }

@@ -38,7 +38,7 @@ func validTopKIndex(mode string) error {
 func (s *Server) buildIndex(m *model) error {
 	_, sp := s.tracer.StartRoot(context.Background(), "ann_build")
 	start := time.Now()
-	ix, err := ann.Build(m.store, ann.Config{
+	ix, err := ann.Build(m.data, ann.Config{
 		NProbe: s.cfg.TopKNProbe,
 		Seed:   uint64(m.crc),
 	})
@@ -71,7 +71,7 @@ func (s *Server) topkIVF(ctx context.Context, m *model, u int32, agg eval.Aggreg
 		return nil, err
 	}
 	sp := obs.ChildSpan(ctx, "ann_scatter_gather")
-	results, stats, err := m.index.Search(ctx, ann.Query(m.store.SourceVec(u), nil), s.cfg.TopKNProbe, k,
+	results, stats, err := m.index.Search(ctx, ann.Query(m.data.SourceVec(u), nil), s.cfg.TopKNProbe, k,
 		func(ctx context.Context, cands []int32) ([]eval.Ranked, error) {
 			return m.scorer.TopAmong(ctx, []int32{u}, agg, k, cands)
 		})

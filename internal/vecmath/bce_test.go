@@ -1,0 +1,85 @@
+package vecmath
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestKernelsBoundsCheckFree recompiles this package with the compiler's
+// bounds-check-elimination diagnostic (-d=ssa/check_bce) and diffs the
+// findings against testdata/bce_allowlist.txt. The kernels' speed rests on
+// the prove pass eliminating every per-element bounds check from the
+// unrolled loops; an innocent-looking refactor (splitting a loop, hoisting
+// an index, changing a guard) can silently bring the checks back with no
+// test failing, so this guard turns that perf regression into a red test.
+//
+// The compiler caches and replays its diagnostics, so a cache hit still
+// yields the findings; the test needs no cache-busting.
+func TestKernelsBoundsCheckFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the package; skipped in -short")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	cmd := exec.Command(gobin, "build", "-gcflags=-d=ssa/check_bce", ".")
+	cmd.Dir = "." // tests run in the package directory
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -d=ssa/check_bce: %v\n%s", err, out)
+	}
+	got := parseBCEFindings(string(out))
+	want, err := loadBCEAllowlist(filepath.Join("testdata", "bce_allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("bounds-check findings changed:\n  got:  %v\n  want: %v\n"+
+			"A new finding means a kernel loop regained a per-element bounds check "+
+			"(see the package comment for the loop shapes prove can verify). "+
+			"Only allowlist a finding that is demonstrably off the hot path.", got, want)
+	}
+}
+
+// parseBCEFindings extracts "<file>: Found <check>" lines from the build
+// output, dropping line/column so unrelated edits don't shift the baseline.
+func parseBCEFindings(out string) []string {
+	var findings []string
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.Index(line, "Found Is")
+		if i < 0 {
+			continue
+		}
+		file := line
+		if j := strings.Index(line, ":"); j >= 0 {
+			file = line[:j]
+		}
+		file = strings.TrimPrefix(file, "./")
+		findings = append(findings, file+": "+strings.TrimSpace(line[i:]))
+	}
+	sort.Strings(findings)
+	return findings
+}
+
+func loadBCEAllowlist(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var allowed []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allowed = append(allowed, line)
+	}
+	sort.Strings(allowed)
+	return allowed, nil
+}

@@ -1,0 +1,228 @@
+package vecmath
+
+// Blocked float32 kernels. Every kernel here follows the same discipline:
+//
+//   - one explicit length check up front (a mismatch is always a programming
+//     error in this codebase);
+//   - an unrolled main loop in the shrinking-window form — index the front
+//     of the slices at constant offsets below the window width W, then
+//     advance with a = a[W:] — plus a range-based tail behind a len guard.
+//     On go1.24 this is the one unrolled shape the prove pass eliminates
+//     ALL bounds checks for: constant indices below the `len >= W` loop
+//     guard need no check, whereas step-W induction variables
+//     (for ; i+W <= len(a); i += W) defeat prove entirely, leaving
+//     per-element checks in the loop body. W is 8 for elementwise and
+//     serial kernels (loop-control amortization) and 16 for the blocked
+//     dot, which is throughput-bound once its add chain splits into lanes.
+//
+// Two accumulation disciplines coexist, and the distinction is load-bearing:
+//
+//   - BLOCKED kernels (Dot, SquaredDistance, Int8Dot) keep 4 independent
+//     accumulators and combine them at the end. Reassociating the sum breaks
+//     the serial add-latency chain — the bulk of the speedup on dot products
+//     at d=64 — but changes the floating-point result in the last ulps. They
+//     are for scoring, evaluation and ANN paths, where no golden fixture
+//     pins bits.
+//   - SERIAL kernels (DotSigmoid, DotBiasSigmoid, and every elementwise
+//     kernel) perform exactly the operations of the pre-blocking scalar
+//     loops, in exactly the same order. Unrolling an elementwise update or a
+//     single-accumulator chain does not touch the result, so these are safe
+//     in the SGD hot loop, which internal/core's golden test pins bitwise
+//     against the original implementation. Go never reassociates or
+//     FMA-contracts float expressions on its own, so source order is result
+//     order.
+//
+// The guard test TestKernelsBoundsCheckFree (and the CI leg that runs it)
+// compiles this package with -d=ssa/check_bce and diffs the remaining checks
+// against testdata/bce_allowlist.txt, so a refactor cannot silently
+// reintroduce per-element bounds checks in these loops.
+
+// Dot returns the inner product of a and b, accumulated in 4 independent
+// float32 lanes (reassociated — see the package comment on blocked vs serial
+// kernels; use DotSigmoid in paths that must reproduce the serial sum). It
+// panics if the lengths differ.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("vecmath: Dot length mismatch")
+	}
+	// 16 elements per iteration, four per lane: once the add chain is split
+	// across lanes the kernel is throughput-bound, so the remaining win is
+	// amortizing loop control (two length checks + two reslices per
+	// iteration) over as many elements as the training dims (32/64/128,
+	// all multiples of 16) allow. A 4-wide middle loop catches remainders.
+	var s0, s1, s2, s3 float32
+	for len(a) >= 16 && len(b) >= 16 {
+		s0 += a[0]*b[0] + a[4]*b[4] + a[8]*b[8] + a[12]*b[12]
+		s1 += a[1]*b[1] + a[5]*b[5] + a[9]*b[9] + a[13]*b[13]
+		s2 += a[2]*b[2] + a[6]*b[6] + a[10]*b[10] + a[14]*b[14]
+		s3 += a[3]*b[3] + a[7]*b[7] + a[11]*b[11] + a[15]*b[15]
+		a = a[16:]
+		b = b[16:]
+	}
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += a[0] * b[0]
+		s1 += a[1] * b[1]
+		s2 += a[2] * b[2]
+		s3 += a[3] * b[3]
+		a = a[4:]
+		b = b[4:]
+	}
+	if len(b) >= len(a) { // always true (equal lengths); lets prove drop the b[i] check
+		for i, v := range a {
+			s0 += v * b[i]
+		}
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotSerial is the one-accumulator inner product, unrolled but NOT
+// reassociated: it performs s += a[i]*b[i] in ascending index order, exactly
+// like the original scalar loop, so its result is bit-identical to the
+// pre-blocking Dot. The SGD fused kernels build on it.
+func dotSerial(a, b []float32) float32 {
+	var s float32
+	for len(a) >= 8 && len(b) >= 8 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		s += a[4] * b[4]
+		s += a[5] * b[5]
+		s += a[6] * b[6]
+		s += a[7] * b[7]
+		a = a[8:]
+		b = b[8:]
+	}
+	if len(b) >= len(a) {
+		for i, v := range a {
+			s += v * b[i]
+		}
+	}
+	return s
+}
+
+// DotSigmoid returns z = a·b (serial one-accumulator order, bit-identical to
+// the pre-blocking Dot) and FastSigmoid(z) in one call — the fused logit of
+// the SGD gradient step for the bias-free configuration. It panics if the
+// lengths differ.
+func DotSigmoid(a, b []float32) (z, sig float32) {
+	if len(a) != len(b) {
+		panic("vecmath: DotSigmoid length mismatch")
+	}
+	z = dotSerial(a, b)
+	return z, FastSigmoid(z)
+}
+
+// DotBiasSigmoid is DotSigmoid with a bias term added to the logit before
+// the sigmoid: z = a·b + bias, computed exactly as the unfused sequence
+// (serial dot, then one float32 add) so the SGD trajectory is unchanged.
+func DotBiasSigmoid(a, b []float32, bias float32) (z, sig float32) {
+	if len(a) != len(b) {
+		panic("vecmath: DotBiasSigmoid length mismatch")
+	}
+	z = dotSerial(a, b) + bias
+	return z, FastSigmoid(z)
+}
+
+// Axpy computes a += alpha*b in place. Elementwise, so the unrolled form is
+// bit-identical to the scalar loop. It panics if the lengths differ.
+func Axpy(alpha float32, b []float32, a []float32) {
+	if len(a) != len(b) {
+		panic("vecmath: Axpy length mismatch")
+	}
+	for len(a) >= 8 && len(b) >= 8 {
+		a[0] += alpha * b[0]
+		a[1] += alpha * b[1]
+		a[2] += alpha * b[2]
+		a[3] += alpha * b[3]
+		a[4] += alpha * b[4]
+		a[5] += alpha * b[5]
+		a[6] += alpha * b[6]
+		a[7] += alpha * b[7]
+		a = a[8:]
+		b = b[8:]
+	}
+	if len(a) >= len(b) {
+		for i, v := range b {
+			a[i] += alpha * v
+		}
+	}
+}
+
+// AxpyTwo fuses the SGD gradient step's pair of updates into one sweep:
+//
+//	a += alpha*x   (the S_u gradient accumulation, reading T_x)
+//	b += alpha*y   (the T_x update, reading S_u)
+//
+// b may alias x — the hot-loop case, where the x read of each element happens
+// before the b write of the same element, exactly as in the unfused
+// two-Axpy sequence (the first Axpy writes only a, so the second sees the
+// same b values either way; results are bit-identical). No other aliasing
+// among the four slices is allowed. It panics if any length differs.
+func AxpyTwo(alpha float32, x, a, y, b []float32) {
+	if len(a) != len(x) || len(y) != len(x) || len(b) != len(x) {
+		panic("vecmath: AxpyTwo length mismatch")
+	}
+	for len(x) >= 8 && len(a) >= 8 && len(y) >= 8 && len(b) >= 8 {
+		a[0] += alpha * x[0]
+		b[0] += alpha * y[0]
+		a[1] += alpha * x[1]
+		b[1] += alpha * y[1]
+		a[2] += alpha * x[2]
+		b[2] += alpha * y[2]
+		a[3] += alpha * x[3]
+		b[3] += alpha * y[3]
+		a[4] += alpha * x[4]
+		b[4] += alpha * y[4]
+		a[5] += alpha * x[5]
+		b[5] += alpha * y[5]
+		a[6] += alpha * x[6]
+		b[6] += alpha * y[6]
+		a[7] += alpha * x[7]
+		b[7] += alpha * y[7]
+		x, a, y, b = x[8:], a[8:], y[8:], b[8:]
+	}
+	if len(a) >= len(x) && len(y) >= len(x) && len(b) >= len(x) {
+		for i := range x {
+			a[i] += alpha * x[i]
+			b[i] += alpha * y[i]
+		}
+	}
+}
+
+// SquaredDistance returns ||a-b||² with both the per-coordinate differences
+// and the accumulation in float64: in float32, coordinates above ~1.3e19
+// square to +Inf and large-norm rows (the diverged-model geometry that also
+// motivated the CosineSimilarity float64 fix) lose their low bits entirely,
+// which silently corrupted ANN k-means assignments. Accumulation is blocked
+// 4-wide (reassociated; distances carry no bitwise pin). It panics if the
+// lengths differ.
+func SquaredDistance(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: SquaredDistance length mismatch")
+	}
+	var s0, s1, s2, s3 float64
+	for len(a) >= 8 && len(b) >= 8 {
+		d0 := float64(a[0]) - float64(b[0])
+		d1 := float64(a[1]) - float64(b[1])
+		d2 := float64(a[2]) - float64(b[2])
+		d3 := float64(a[3]) - float64(b[3])
+		d4 := float64(a[4]) - float64(b[4])
+		d5 := float64(a[5]) - float64(b[5])
+		d6 := float64(a[6]) - float64(b[6])
+		d7 := float64(a[7]) - float64(b[7])
+		s0 += d0*d0 + d4*d4
+		s1 += d1*d1 + d5*d5
+		s2 += d2*d2 + d6*d6
+		s3 += d3*d3 + d7*d7
+		a = a[8:]
+		b = b[8:]
+	}
+	if len(b) >= len(a) {
+		for i, v := range a {
+			d := float64(v) - float64(b[i])
+			s0 += d * d
+		}
+	}
+	return (s0 + s1) + (s2 + s3)
+}

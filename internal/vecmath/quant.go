@@ -1,0 +1,129 @@
+package vecmath
+
+import "math"
+
+// Per-row symmetric int8 quantization. A float32 row is stored as int8 codes
+// q[i] plus one float32 scale, with x[i] ≈ float32(q[i]) * scale. The scale is
+// maxabs/127, so the code range is symmetric in [-127, 127] (-128 is never
+// produced) and zero is represented exactly — a requirement for embedding
+// rows, where exact zeros mark untrained users.
+//
+// Two degenerate rows get reserved encodings:
+//
+//   - an all-zero row quantizes to scale 0 and zero codes, dequantizing back
+//     to exact zeros;
+//   - a row containing any NaN or ±Inf quantizes to scale NaN and zero codes,
+//     dequantizing to all-NaN. A diverged model therefore still *looks*
+//     diverged after a quantized round trip instead of silently becoming a
+//     plausible finite row.
+
+// QuantizeRow quantizes row into q (which must have the same length) and
+// returns the per-row scale. It panics if the lengths differ.
+func QuantizeRow(row []float32, q []int8) float32 {
+	if len(row) != len(q) {
+		panic("vecmath: QuantizeRow length mismatch")
+	}
+	q = q[:len(row)]
+	var maxAbs float32
+	finite := true
+	for _, v := range row {
+		a := float64(v)
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			finite = false
+			break
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if !finite {
+		for i := range q {
+			q[i] = 0
+		}
+		return float32(math.NaN())
+	}
+	if maxAbs == 0 {
+		for i := range q {
+			q[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / float64(scale)
+	for i, v := range row {
+		c := math.Round(float64(v) * inv)
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		q[i] = int8(c)
+	}
+	return scale
+}
+
+// DequantizeRow reconstructs q into out as out[i] = float32(q[i]) * scale.
+// A NaN scale (non-finite source row) yields all-NaN output. It panics if the
+// lengths differ.
+func DequantizeRow(q []int8, scale float32, out []float32) {
+	if len(q) != len(out) {
+		panic("vecmath: DequantizeRow length mismatch")
+	}
+	out = out[:len(q)]
+	if math.IsNaN(float64(scale)) {
+		nan := float32(math.NaN())
+		for i := range out {
+			out[i] = nan
+		}
+		return
+	}
+	for len(q) >= 4 && len(out) >= 4 {
+		out[0] = float32(q[0]) * scale
+		out[1] = float32(q[1]) * scale
+		out[2] = float32(q[2]) * scale
+		out[3] = float32(q[3]) * scale
+		q = q[4:]
+		out = out[4:]
+	}
+	if len(out) >= len(q) {
+		for i, c := range q {
+			out[i] = float32(c) * scale
+		}
+	}
+}
+
+// Int8Dot returns the integer inner product of two code rows, accumulated in
+// 4 independent int32 lanes. Exact: |q| <= 127, so even 2^17-element rows
+// stay far below int32 overflow (127² · 2^17 < 2^31). Callers rescale by the
+// product of the two row scales. It panics if the lengths differ.
+func Int8Dot(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic("vecmath: Int8Dot length mismatch")
+	}
+	var s0, s1, s2, s3 int32
+	for len(a) >= 16 && len(b) >= 16 {
+		s0 += int32(a[0])*int32(b[0]) + int32(a[4])*int32(b[4]) + int32(a[8])*int32(b[8]) + int32(a[12])*int32(b[12])
+		s1 += int32(a[1])*int32(b[1]) + int32(a[5])*int32(b[5]) + int32(a[9])*int32(b[9]) + int32(a[13])*int32(b[13])
+		s2 += int32(a[2])*int32(b[2]) + int32(a[6])*int32(b[6]) + int32(a[10])*int32(b[10]) + int32(a[14])*int32(b[14])
+		s3 += int32(a[3])*int32(b[3]) + int32(a[7])*int32(b[7]) + int32(a[11])*int32(b[11]) + int32(a[15])*int32(b[15])
+		a = a[16:]
+		b = b[16:]
+	}
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += int32(a[0]) * int32(b[0])
+		s1 += int32(a[1]) * int32(b[1])
+		s2 += int32(a[2]) * int32(b[2])
+		s3 += int32(a[3]) * int32(b[3])
+		a = a[4:]
+		b = b[4:]
+	}
+	if len(b) >= len(a) {
+		for i, v := range a {
+			s0 += int32(v) * int32(b[i])
+		}
+	}
+	return s0 + s1 + s2 + s3
+}

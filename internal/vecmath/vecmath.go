@@ -12,29 +12,6 @@ package vecmath
 
 import "math"
 
-// Dot returns the inner product of a and b. It panics if the lengths differ,
-// since a length mismatch is always a programming error in this codebase.
-func Dot(a, b []float32) float32 {
-	if len(a) != len(b) {
-		panic("vecmath: Dot length mismatch")
-	}
-	var s float32
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
-
-// Axpy computes a += alpha*b in place.
-func Axpy(alpha float32, b []float32, a []float32) {
-	if len(a) != len(b) {
-		panic("vecmath: Axpy length mismatch")
-	}
-	for i, v := range b {
-		a[i] += alpha * v
-	}
-}
-
 // Scale multiplies a by alpha in place.
 func Scale(alpha float32, a []float32) {
 	for i := range a {
@@ -64,19 +41,6 @@ func Norm2(a []float32) float32 {
 		s += float64(v) * float64(v)
 	}
 	return float32(math.Sqrt(s))
-}
-
-// SquaredDistance returns ||a-b||^2.
-func SquaredDistance(a, b []float32) float32 {
-	if len(a) != len(b) {
-		panic("vecmath: SquaredDistance length mismatch")
-	}
-	var s float32
-	for i, v := range a {
-		d := v - b[i]
-		s += d * d
-	}
-	return s
 }
 
 // CosineSimilarity returns the cosine of the angle between a and b, or 0 if
@@ -154,7 +118,11 @@ func FastSigmoid(x float32) float32 {
 	} else if idx >= expTableSize {
 		idx = expTableSize - 1
 	}
-	return expTable[idx]
+	// The mask is an identity after the clamp (idx ∈ [0, 4095]) but, unlike
+	// the clamp itself, it is something the compiler's prove pass can verify,
+	// so the table lookup compiles without a bounds check even when this
+	// function is inlined into the fused SGD kernels.
+	return expTable[idx&(expTableSize-1)]
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
